@@ -1,0 +1,90 @@
+// Google-benchmark microbenchmarks of the simulator substrate itself:
+// event throughput of the DES core, coroutine switch cost, end-to-end
+// messages simulated per second. These guard against performance
+// regressions that would make the reproduction benches impractically
+// slow.
+
+#include <benchmark/benchmark.h>
+
+#include "benchlib/put_bw.hpp"
+#include "scenario/testbed.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace bb;
+using namespace bb::literals;
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.call_at(TimePs(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_CoroutineDelayLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    sim.spawn([](sim::Simulator& s, int iters) -> sim::Task<void> {
+      for (int i = 0; i < iters; ++i) {
+        co_await s.delay(1_ns);
+      }
+    }(sim, n));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CoroutineDelayLoop)->Arg(10000);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> a(sim), b(sim);
+    const int n = static_cast<int>(state.range(0));
+    sim.spawn([](sim::Channel<int>& rx, sim::Channel<int>& tx,
+                 int iters) -> sim::Task<void> {
+      for (int i = 0; i < iters; ++i) {
+        tx.send(i);
+        (void)co_await rx.receive();
+      }
+    }(a, b, n));
+    sim.spawn([](sim::Channel<int>& rx, sim::Channel<int>& tx,
+                 int iters) -> sim::Task<void> {
+      for (int i = 0; i < iters; ++i) {
+        const int v = co_await rx.receive();
+        tx.send(v);
+      }
+    }(b, a, n));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(10000);
+
+void BM_PutBwSimulationThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+    bench::PutBwBenchmark bench(
+        tb, {.messages = static_cast<std::uint64_t>(state.range(0)),
+             .warmup = 100,
+             .capture_trace = false});
+    const auto res = bench.run();
+    benchmark::DoNotOptimize(res.cpu_per_msg_ns);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("simulated messages");
+}
+BENCHMARK(BM_PutBwSimulationThroughput)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

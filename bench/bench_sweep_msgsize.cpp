@@ -1,0 +1,76 @@
+// Extension bench: message-size sweep.
+//
+// The paper's introduction argues the breakdown matters for *small*
+// messages: "the latency of sending a large message is driven by the
+// time spent in the network components... the time spent in the
+// software stack during the propagation of a small message is a
+// considerable portion of the overall latency". This sweep runs am_lat
+// across sizes and attributes each observed latency to CPU vs
+// everything else, showing the crossover as payload serialization and
+// memory-commit costs grow while the CPU share stays flat.
+
+#include <cstdio>
+#include <vector>
+
+#include "benchlib/am_lat.hpp"
+#include "core/component_table.hpp"
+#include "scenario/testbed.hpp"
+#include "util.hpp"
+
+using namespace bb;
+
+namespace {
+
+struct Point {
+  std::uint32_t bytes;
+  double latency_ns;
+  double cpu_share;
+};
+
+Point run(std::uint32_t bytes) {
+  auto cfg = scenario::presets::thunderx2_cx4();
+  // Keep inlining for everything that fits a few PIO chunks; beyond the
+  // inline limit the payload is fetched by DMA (the realistic path).
+  scenario::Testbed tb(cfg);
+  bench::AmLatBenchmark b(tb, {.iterations = 800,
+                               .warmup = 80,
+                               .bytes = bytes,
+                               .capture_trace = false});
+  Point p;
+  p.bytes = bytes;
+  p.latency_ns = b.run().adjusted_mean_ns;
+  const auto t = core::ComponentTable::from_config(tb.config());
+  // CPU share: post + poll work (independent of size up to chunking).
+  const std::uint32_t chunks =
+      bytes <= cfg.endpoint.max_inline_bytes
+          ? (cfg.endpoint.md_overhead_bytes + bytes + 63) / 64
+          : 1;
+  const double cpu = t.llp_post() + (chunks - 1) * t.pio_copy + t.llp_prog;
+  p.cpu_share = cpu / p.latency_ns;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bbench::header("bench_sweep_msgsize -- latency vs payload size",
+                 "extension of §1's small- vs large-message argument");
+
+  std::printf("%-10s %16s %12s\n", "bytes", "latency (ns)", "CPU share");
+  std::vector<Point> pts;
+  for (std::uint32_t b : {8u, 32u, 64u, 128u, 512u, 1024u, 4096u}) {
+    pts.push_back(run(b));
+    std::printf("%-10u %16.2f %11.1f%%\n", pts.back().bytes,
+                pts.back().latency_ns, pts.back().cpu_share * 100.0);
+  }
+
+  bbench::Validator v;
+  v.is_true("latency grows with size",
+            pts.back().latency_ns > pts.front().latency_ns);
+  v.is_true("CPU share shrinks with size",
+            pts.back().cpu_share < pts.front().cpu_share);
+  v.is_true("CPU is a considerable share for 8 B (>20%)",
+            pts.front().cpu_share > 0.20);
+  v.is_true("CPU share minor at 4 KiB (<15%)", pts.back().cpu_share < 0.15);
+  return v.finish();
+}

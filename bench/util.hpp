@@ -1,0 +1,72 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every binary prints the rows/series its table or figure reports, in
+// three flavours where applicable: the paper's published value, the value
+// our analytical model computes from the calibrated configuration, and
+// the value observed/measured in the simulator. It exits non-zero if any
+// declared reproduction band fails, so `for b in build/bench/*; do $b;
+// done` doubles as a validation sweep.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bbench {
+
+class Validator {
+ public:
+  /// Declares a check: |actual - expected| / |expected| <= tol_frac.
+  void within(const std::string& what, double actual, double expected,
+              double tol_frac) {
+    const double err = std::abs(actual - expected) / std::abs(expected);
+    add(what, err <= tol_frac,
+        "actual " + fmt(actual) + " vs expected " + fmt(expected) + " (" +
+            fmt(err * 100.0) + "% err, tol " + fmt(tol_frac * 100.0) + "%)");
+  }
+
+  void is_true(const std::string& what, bool ok,
+               const std::string& detail = "") {
+    add(what, ok, detail);
+  }
+
+  /// Prints the check summary; returns the process exit code.
+  int finish() const {
+    std::printf("\n-- validation --------------------------------------\n");
+    int failures = 0;
+    for (const auto& c : checks_) {
+      std::printf("  [%s] %s%s%s\n", c.ok ? "PASS" : "FAIL", c.what.c_str(),
+                  c.detail.empty() ? "" : ": ", c.detail.c_str());
+      failures += c.ok ? 0 : 1;
+    }
+    std::printf("%d/%zu checks passed\n", static_cast<int>(checks_.size()) - failures,
+                checks_.size());
+    return failures == 0 ? 0 : 1;
+  }
+
+ private:
+  struct Check {
+    std::string what;
+    bool ok;
+    std::string detail;
+  };
+  static std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+  }
+  void add(std::string what, bool ok, std::string detail) {
+    checks_.push_back(Check{std::move(what), ok, std::move(detail)});
+  }
+  std::vector<Check> checks_;
+};
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("====================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("====================================================\n\n");
+}
+
+}  // namespace bbench

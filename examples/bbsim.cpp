@@ -1,0 +1,132 @@
+// bbsim: run any of the reproduction benchmarks on any machine preset
+// from the command line.
+//
+//   bbsim put_bw   [preset] [count]    # UCX injection-rate test
+//   bbsim am_lat   [preset] [count]    # UCX ping-pong latency test
+//   bbsim osu_mr   [preset] [windows]  # OSU message rate (MPI)
+//   bbsim osu_lat  [preset] [count]    # OSU pt2pt latency (MPI)
+//   bbsim list                         # available presets
+//
+// Example:
+//   bbsim am_lat genz-switch 2000
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "benchlib/am_lat.hpp"
+#include "benchlib/osu.hpp"
+#include "benchlib/put_bw.hpp"
+#include "core/models.hpp"
+#include "scenario/testbed.hpp"
+
+using namespace bb;
+
+namespace {
+
+std::map<std::string, std::function<scenario::SystemConfig()>> presets() {
+  using namespace scenario::presets;
+  return {
+      {"thunderx2-cx4", [] { return thunderx2_cx4(); }},
+      {"deterministic", [] { return deterministic(); }},
+      {"integrated-nic", [] { return integrated_nic(0.5); }},
+      {"fast-device-memory", [] { return fast_device_memory(); }},
+      {"genz-switch", [] { return genz_switch(); }},
+      {"pam4-fec-wire", [] { return pam4_fec_wire(); }},
+      {"tofu-d-like", [] { return tofu_d_like(); }},
+      {"doorbell-dma", [] { return doorbell_dma_path(); }},
+      {"unsignaled-completions", [] { return unsignaled_completions(); }},
+  };
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <put_bw|am_lat|osu_mr|osu_lat|list> "
+               "[preset] [count]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  const auto reg = presets();
+
+  if (cmd == "list") {
+    for (const auto& [name, _] : reg) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  const std::string preset = argc > 2 ? argv[2] : "thunderx2-cx4";
+  const auto it = reg.find(preset);
+  if (it == reg.end()) {
+    std::fprintf(stderr, "unknown preset '%s' (try: %s list)\n",
+                 preset.c_str(), argv[0]);
+    return 2;
+  }
+  const auto cfg = it->second();
+  const std::uint64_t count =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+
+  const auto table = core::ComponentTable::from_config(cfg);
+  if (cmd == "put_bw") {
+    scenario::Testbed tb(cfg);
+    bench::PutBwBenchmark b(tb, {.messages = count ? count : 10000,
+                                 .warmup = (count ? count : 10000) / 10});
+    const auto res = b.run();
+    const auto s = res.nic_deltas.summarize();
+    std::printf("put_bw on %s: %llu msgs\n", cfg.name.c_str(),
+                static_cast<unsigned long long>(res.messages));
+    std::printf("  observed injection overhead: %s\n", s.str().c_str());
+    std::printf("  modelled (Eq. 1):            %.2f ns\n",
+                core::InjectionModel(table).llp_injection_ns());
+    std::printf("  busy posts: %llu\n",
+                static_cast<unsigned long long>(res.busy_posts));
+    return 0;
+  }
+  if (cmd == "am_lat") {
+    scenario::Testbed tb(cfg);
+    bench::AmLatBenchmark b(tb, {.iterations = count ? count : 2000,
+                                 .warmup = (count ? count : 2000) / 10});
+    const auto res = b.run();
+    std::printf("am_lat on %s: %llu iterations\n", cfg.name.c_str(),
+                static_cast<unsigned long long>(res.iterations));
+    std::printf("  observed latency (adjusted): %.2f ns\n",
+                res.adjusted_mean_ns);
+    std::printf("  modelled LLP latency:        %.2f ns\n",
+                core::LatencyModel(table).llp_latency_ns());
+    return 0;
+  }
+  if (cmd == "osu_mr") {
+    scenario::Testbed tb(cfg);
+    bench::OsuMessageRate b(tb, {.windows = count ? count : 300,
+                                 .warmup_windows = (count ? count : 300) / 10});
+    const auto res = b.run();
+    std::printf("osu_mr on %s: %llu msgs\n", cfg.name.c_str(),
+                static_cast<unsigned long long>(res.messages));
+    std::printf("  message rate: %.2f M msg/s (%.2f ns/msg)\n",
+                res.message_rate() / 1e6, res.cpu_per_msg_ns);
+    std::printf("  modelled (Eq. 2): %.2f ns/msg\n",
+                core::InjectionModel(table).overall_injection_ns());
+    return 0;
+  }
+  if (cmd == "osu_lat") {
+    scenario::Testbed tb(cfg);
+    bench::OsuLatency b(tb, {.iterations = count ? count : 2000,
+                             .warmup = (count ? count : 2000) / 10});
+    const auto res = b.run();
+    std::printf("osu_lat on %s: %llu iterations\n", cfg.name.c_str(),
+                static_cast<unsigned long long>(res.iterations));
+    std::printf("  observed latency (adjusted): %.2f ns\n",
+                res.adjusted_mean_ns);
+    std::printf("  modelled e2e latency:        %.2f ns\n",
+                core::LatencyModel(table).e2e_latency_ns());
+    return 0;
+  }
+  return usage(argv[0]);
+}

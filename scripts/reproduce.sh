@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every table/figure.
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+status=0
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "================================================================" \
+    | tee -a bench_output.txt
+  if ! "$b" 2>&1 | tee -a bench_output.txt; then
+    echo "!! $(basename "$b") FAILED its reproduction bands" \
+      | tee -a bench_output.txt
+    status=1
+  fi
+done
+exit "$status"

@@ -1,0 +1,47 @@
+#pragma once
+// UCX perftest's am_lat: the send-receive ping-pong latency
+// microbenchmark of §4.3.
+//
+// Node 0 posts a ping (uct_ep_am_short), progresses until the pong's
+// receive completion is polled, performs the benchmark's measurement
+// update, and repeats. Node 1 mirrors. The benchmark reports half the
+// round trip; §4.3 deducts half a measurement update from the raw value
+// because the update sits on the critical path once per round trip.
+
+#include <cstdint>
+
+#include "benchlib/bench_types.hpp"
+#include "scenario/testbed.hpp"
+
+namespace bb::bench {
+
+struct AmLatConfig {
+  std::uint64_t iterations = 5000;
+  std::uint64_t warmup = 500;
+  std::uint32_t bytes = 8;
+  double speed_factor = 1.0;
+  bool capture_trace = true;
+};
+
+class AmLatBenchmark {
+ public:
+  AmLatBenchmark(scenario::Testbed& tb, AmLatConfig cfg);
+
+  LatencyResult run();
+
+  /// The analyzer trace is the input to the §4.3 component-measurement
+  /// methodology (Wire, RC-to-MEM); exposed for the analysis module.
+  const pcie::Trace& trace() const { return tb_.analyzer().trace(); }
+
+ private:
+  sim::Task<void> initiator();
+  sim::Task<void> responder();
+
+  scenario::Testbed& tb_;
+  AmLatConfig cfg_;
+  llp::Endpoint& ep0_;
+  llp::Endpoint& ep1_;
+  Samples half_rtt_raw_;
+};
+
+}  // namespace bb::bench

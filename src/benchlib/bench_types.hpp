@@ -1,0 +1,38 @@
+#pragma once
+// Result types shared by the benchmark loops.
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace bb::bench {
+
+/// Result of an injection-rate run (put_bw or OSU message rate).
+struct InjectionResult {
+  /// Observed injection overhead: deltas between consecutive message
+  /// arrivals at the NIC, from the analyzer trace (§4.2). Empty when
+  /// trace capture was off.
+  Samples nic_deltas;
+  /// Mean CPU time per message over the measured window (wall-clock at
+  /// the driving core divided by messages).
+  double cpu_per_msg_ns = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t busy_posts = 0;
+  /// Messages per second implied by cpu_per_msg_ns.
+  double message_rate() const {
+    return cpu_per_msg_ns > 0 ? 1e9 / cpu_per_msg_ns : 0.0;
+  }
+};
+
+/// Result of a ping-pong latency run (am_lat or OSU pt2pt latency).
+struct LatencyResult {
+  /// Half round-trip per iteration, raw (includes the benchmark's own
+  /// measurement update, as the raw UCX number does in §4.3).
+  Samples half_rtt_raw;
+  /// The §4.3 adjustment: raw mean minus half a measurement update.
+  double adjusted_mean_ns = 0.0;
+  std::uint64_t iterations = 0;
+};
+
+}  // namespace bb::bench

@@ -1,0 +1,34 @@
+#pragma once
+// Internal assertions. These guard simulator invariants (queue conservation,
+// credit accounting, event ordering) and are enabled in all build types:
+// a simulator that silently corrupts its timeline produces plausible-looking
+// wrong numbers, which is worse than aborting.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bb::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "bb: assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace bb::detail
+
+#define BB_ASSERT(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::bb::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                \
+  } while (false)
+
+#define BB_ASSERT_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::bb::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                             \
+  } while (false)
+
+#define BB_UNREACHABLE(msg) \
+  ::bb::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

@@ -1,0 +1,57 @@
+#pragma once
+// Deterministic random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we do
+// not use the standard <random> distributions (their sequences are
+// implementation-defined). The engine is xoshiro256**; distributions are
+// implemented here with fixed algorithms.
+
+#include <array>
+#include <cstdint>
+
+namespace bb {
+
+/// Mixes a 64-bit seed into a well-distributed stream (used for seeding).
+struct SplitMix64 {
+  std::uint64_t state;
+  constexpr explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+};
+
+/// Deterministic PRNG with fixed-algorithm distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Derives an independent child stream (for per-component jitter sources).
+  Rng fork();
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double uniform01();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_u64(std::uint64_t n);
+  /// Standard normal via Box-Muller (caches the second variate).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Lognormal such that the *resulting* distribution has the given
+  /// mean and standard deviation (moment-matched).
+  double lognormal_by_moments(double mean, double stddev);
+  double exponential(double mean);
+  /// True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace bb

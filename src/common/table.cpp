@@ -1,0 +1,119 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace bb {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BB_ASSERT_MSG(cells.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = render_rule() + render_row(header_) + render_rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? render_rule() : render_row(row);
+  }
+  out += render_rule();
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto join = [](const std::vector<std::string>& row) {
+    std::string s;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) s += ",";
+      s += row[c];
+    }
+    return s + "\n";
+  };
+  std::string out = join(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) out += join(row);
+  }
+  return out;
+}
+
+std::string render_stacked_bar(const std::string& title,
+                               const std::vector<BarSegment>& segments,
+                               std::size_t width, const std::string& unit) {
+  double total = 0.0;
+  for (const auto& s : segments) total += s.value;
+
+  std::string out = title + "\n";
+  if (total <= 0.0) return out + "  (no data)\n";
+
+  // The bar itself: one '=' run per segment, proportionally sized.
+  std::string bar = "|";
+  for (const auto& s : segments) {
+    auto cells = static_cast<std::size_t>(s.value / total *
+                                          static_cast<double>(width) + 0.5);
+    cells = std::max<std::size_t>(cells, 1);
+    std::string fill(cells, '=');
+    // Embed a short label if it fits.
+    if (s.label.size() + 2 <= cells) {
+      const std::size_t start = (cells - s.label.size()) / 2;
+      for (std::size_t i = 0; i < s.label.size(); ++i) {
+        fill[start + i] = s.label[i];
+      }
+    }
+    bar += fill + "|";
+  }
+  out += "  " + bar + "\n";
+
+  char line[192];
+  for (const auto& s : segments) {
+    std::snprintf(line, sizeof(line), "  %-28s %8.2f %-3s  %6.2f%%\n",
+                  s.label.c_str(), s.value, unit.c_str(),
+                  s.value / total * 100.0);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-28s %8.2f %-3s  100.00%%\n", "TOTAL",
+                total, unit.c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace bb

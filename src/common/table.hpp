@@ -1,0 +1,47 @@
+#pragma once
+// Plain-text report rendering: aligned tables (the Table 1 substitute),
+// stacked percentage bars (the Fig. 4/8/10-16 substitutes), and CSV export
+// for plotting with external tools.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bb {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Adds a horizontal separator before the next row.
+  void add_rule();
+
+  std::string render() const;
+  std::string to_csv() const;
+
+  static std::string num(double v, int decimals = 2);
+  static std::string pct(double fraction, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+/// One segment of a stacked percentage bar.
+struct BarSegment {
+  std::string label;
+  double value = 0.0;  // absolute; percentages computed from the total
+};
+
+/// Renders a horizontal stacked bar like the paper's percentage-breakdown
+/// figures, e.g.
+///   |=== MD setup 15.8% ===|== ... ==|
+/// plus a legend with exact percentages and absolute values.
+std::string render_stacked_bar(const std::string& title,
+                               const std::vector<BarSegment>& segments,
+                               std::size_t width = 72,
+                               const std::string& unit = "ns");
+
+}  // namespace bb

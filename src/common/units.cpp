@@ -1,0 +1,20 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace bb {
+
+std::string TimePs::str() const {
+  char buf[48];
+  const double ns = to_ns();
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  } else if (ns >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace bb

@@ -1,0 +1,67 @@
+#include "core/analysis.hpp"
+
+namespace bb::core {
+
+using pcie::Direction;
+using pcie::DllpType;
+using pcie::TlpType;
+using pcie::Trace;
+using pcie::TraceRecord;
+
+Samples observed_injection(const Trace& trace, std::size_t skip) {
+  auto posts = trace.downstream_writes(64);
+  if (posts.size() > skip) {
+    posts.erase(posts.begin(), posts.begin() + static_cast<std::ptrdiff_t>(skip));
+  }
+  return Trace::deltas(posts);
+}
+
+Samples measured_pcie(const Trace& trace, std::uint32_t mwr_bytes) {
+  const auto mwrs = trace.filter([mwr_bytes](const TraceRecord& r) {
+    return !r.is_dllp && r.dir == Direction::kUpstream &&
+           r.tlp_type == TlpType::kMemWrite && r.bytes == mwr_bytes;
+  });
+  const auto acks = trace.filter([](const TraceRecord& r) {
+    return r.is_dllp && r.dir == Direction::kDownstream &&
+           r.dllp_type == DllpType::kAck;
+  });
+  Samples round_trips = Trace::spans(mwrs, acks);
+  Samples halves;
+  for (double v : round_trips.values_ns()) halves.add_ns(v / 2.0);
+  return halves;
+}
+
+Samples measured_network(const Trace& trace) {
+  const auto pings = trace.downstream_writes(64);
+  const auto completions = trace.filter([](const TraceRecord& r) {
+    return !r.is_dllp && r.dir == Direction::kUpstream &&
+           r.tlp_type == TlpType::kMemWrite && r.bytes == 64;
+  });
+  Samples spans = Trace::spans(pings, completions);
+  Samples halves;
+  for (double v : spans.values_ns()) halves.add_ns(v / 2.0);
+  return halves;
+}
+
+Samples measured_rc_to_mem(const Trace& trace, double pcie_ns,
+                           double llp_post_ns, double llp_prog_ns,
+                           std::uint32_t payload_bytes) {
+  const auto pongs = trace.filter([payload_bytes](const TraceRecord& r) {
+    return !r.is_dllp && r.dir == Direction::kUpstream &&
+           r.tlp_type == TlpType::kMemWrite && r.bytes == payload_bytes;
+  });
+  const auto pings = trace.downstream_writes(64);
+  const Samples deltas = Trace::spans(pongs, pings);
+  Samples rc_to_mem;
+  for (double d : deltas.values_ns()) {
+    rc_to_mem.add_ns(d - 2.0 * pcie_ns - llp_prog_ns - llp_post_ns);
+  }
+  return rc_to_mem;
+}
+
+double measured_switch(double latency_with_switch_ns,
+                       double latency_without_switch_ns) {
+  return latency_with_switch_ns - latency_without_switch_ns;
+}
+
+}  // namespace bb::core

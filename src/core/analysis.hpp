@@ -1,0 +1,45 @@
+#pragma once
+// The measurement methodology of §3-§4 applied to analyzer traces: how
+// each low-level component time is extracted from timestamped PCIe
+// packets captured just before the NIC.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "pcie/trace.hpp"
+
+namespace bb::core {
+
+/// §4.2: the observed injection overhead -- deltas between consecutive
+/// downstream PIO posts (64 B MWr) arriving at the NIC, after skipping a
+/// warmup prefix.
+Samples observed_injection(const pcie::Trace& trace, std::size_t skip = 0);
+
+/// §4.3 "Measuring PCIe": half the round trip from a NIC-initiated MWr
+/// (e.g. the DMA write of a completion) to the RC's Ack DLLP, both
+/// timestamped at the tap.
+Samples measured_pcie(const pcie::Trace& trace, std::uint32_t mwr_bytes = 64);
+
+/// §4.3 "Measuring Network" on an am_lat trace: half the span from a
+/// downstream 64 B PIO post (the ping reaching the NIC) to the next
+/// upstream 64 B MWr (the ping's completion, generated on the target
+/// NIC's ACK). Note the same systematic contamination a real measurement
+/// has: NIC processing on both ends is inside the span.
+Samples measured_network(const pcie::Trace& trace);
+
+/// §4.3/Fig. 9 "Measuring RC-to-MEM(xB)" on an am_lat trace: the span
+/// from an inbound pong's payload write (upstream MWr of payload size)
+/// to the next outgoing ping (downstream 64 B MWr) contains
+/// RC-to-MEM + 2 x PCIe + LLP_prog + LLP_post; the remaining components
+/// are subtracted using their measured values.
+Samples measured_rc_to_mem(const pcie::Trace& trace, double pcie_ns,
+                           double llp_post_ns, double llp_prog_ns,
+                           std::uint32_t payload_bytes = 8);
+
+/// §4.3 "Measuring Switch": the difference between two latency
+/// measurements, one with a switch and one without.
+double measured_switch(double latency_with_switch_ns,
+                       double latency_without_switch_ns);
+
+}  // namespace bb::core

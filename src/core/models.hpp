@@ -1,0 +1,98 @@
+#pragma once
+// The paper's analytical models (§4.2, §4.3, §6) and every percentage
+// breakdown its figures present, computed from a ComponentTable.
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/component_table.hpp"
+
+namespace bb::core {
+
+/// Injection-overhead models (§4.2, §6).
+class InjectionModel {
+ public:
+  explicit InjectionModel(ComponentTable t) : t_(t) {}
+  const ComponentTable& table() const { return t_; }
+
+  /// Time to generate a completion after the message reached the NIC:
+  /// gen_completion = 2 x (PCIe + Network) + RC-to-MEM(64B).
+  double gen_completion_ns() const;
+  /// Lower bound on the poll period p (posts per poll) that hides
+  /// completion latency: p >= gen_completion / LLP_post.
+  double min_poll_period() const;
+
+  /// Eq. 1: LLP-level injection overhead = LLP_post + LLP_prog + Misc.
+  double llp_injection_ns() const;
+  /// Eq. 2: overall injection overhead = Post + Post_prog + Misc.
+  double overall_injection_ns() const;
+  double post_ns() const { return t_.hlp_post() + t_.llp_post(); }
+  double post_prog_ns() const { return t_.hlp_tx_prog + t_.llp_tx_prog(); }
+
+  /// Fig. 8: breakdown of the LLP injection overhead.
+  std::vector<BarSegment> fig8_breakdown() const;
+  /// Fig. 12: breakdown of the overall injection overhead.
+  std::vector<BarSegment> fig12_breakdown() const;
+
+ private:
+  ComponentTable t_;
+};
+
+/// Latency models (§4.3, §6).
+class LatencyModel {
+ public:
+  explicit LatencyModel(ComponentTable t) : t_(t) {}
+  const ComponentTable& table() const { return t_; }
+
+  /// §4.3: LLP-level latency of an x-byte send-receive message.
+  /// Latency = LLP_post + 2 PCIe + Network + RC-to-MEM(xB) + LLP_prog.
+  double llp_latency_ns() const;
+  /// §6: end-to-end latency = + HLP_post + HLP_rx_prog.
+  double e2e_latency_ns() const;
+
+  /// Fig. 10: LLP latency breakdown (6 segments).
+  std::vector<BarSegment> fig10_breakdown() const;
+  /// Fig. 13: end-to-end latency breakdown (9 bars, ns).
+  std::vector<BarSegment> fig13_breakdown() const;
+
+  /// Fig. 11: HLP split between MPICH and UCP for initiation and for a
+  /// successful receive-side MPI_Wait.
+  struct HlpSplit {
+    std::vector<BarSegment> isend;    // {UCP, MPICH}
+    std::vector<BarSegment> rx_wait;  // {UCP, MPICH}
+  };
+  HlpSplit fig11_split() const;
+
+  /// Fig. 14: protocol-layer split (LLP vs HLP) for initiation, TX
+  /// progress and RX progress.
+  struct LayerSplit {
+    std::vector<BarSegment> initiation;
+    std::vector<BarSegment> tx_progress;
+    std::vector<BarSegment> rx_progress;
+  };
+  LayerSplit fig14_split() const;
+
+  /// Fig. 15: CPU / IO / Network category totals plus per-category splits.
+  struct Categories {
+    std::vector<BarSegment> top;      // CPU, I/O, Network
+    std::vector<BarSegment> cpu;      // LLP, HLP
+    std::vector<BarSegment> io;       // PCIe, RC-to-MEM
+    std::vector<BarSegment> network;  // Wire, Switch
+  };
+  Categories fig15_categories() const;
+
+  /// Fig. 16: on-node time, initiator vs target and their CPU/IO splits.
+  struct OnNode {
+    std::vector<BarSegment> split;        // Initiator, Target
+    std::vector<BarSegment> initiator;    // CPU, I/O
+    std::vector<BarSegment> target;       // CPU, I/O
+    std::vector<BarSegment> target_io;    // RC-to-MEM, PCIe
+  };
+  OnNode fig16_on_node() const;
+
+ private:
+  ComponentTable t_;
+};
+
+}  // namespace bb::core

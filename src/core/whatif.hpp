@@ -1,0 +1,78 @@
+#pragma once
+// The §7 what-if engine: "if we optimize component X by Y%, what is the
+// corresponding reduction in injection overhead and latency?"
+//
+// The models' components are not concurrent (their executions do not
+// overlap), so the speedup of reducing component c by fraction r in a
+// pipeline of total T is exactly  r * c / T  -- the linear curves of
+// Fig. 17. The engine produces the four panels (CPU->injection,
+// CPU->latency, I/O->latency, network->latency) for the standard 10-90%
+// reduction grid, plus the paper's individual spot checks.
+
+#include <string>
+#include <vector>
+
+#include "core/component_table.hpp"
+#include "core/models.hpp"
+
+namespace bb::core {
+
+struct WhatIfCurve {
+  std::string component;
+  double component_ns = 0;           // time attributed to the component
+  std::vector<double> reductions;    // e.g. {0.1, 0.3, 0.5, 0.7, 0.9}
+  std::vector<double> speedups;      // fraction of the base total saved
+};
+
+struct WhatIfPanel {
+  std::string title;
+  double base_total_ns = 0;
+  std::vector<WhatIfCurve> curves;
+
+  std::string render() const;
+  std::string to_csv() const;
+};
+
+class WhatIf {
+ public:
+  explicit WhatIf(ComponentTable t);
+
+  /// Speedup (fractional reduction of the base metric) from reducing a
+  /// component of size `component_ns` by `reduction`.
+  static double speedup(double component_ns, double reduction,
+                        double base_ns) {
+    return reduction * component_ns / base_ns;
+  }
+
+  static const std::vector<double>& standard_grid();
+
+  /// Fig. 17a: CPU components vs overall injection.
+  WhatIfPanel injection_cpu() const;
+  /// Fig. 17b: CPU components vs end-to-end latency.
+  WhatIfPanel latency_cpu() const;
+  /// Fig. 17c: I/O components vs end-to-end latency ("Integrated NIC" is
+  /// the whole I/O subsystem).
+  WhatIfPanel latency_io() const;
+  /// Fig. 17d: network components vs end-to-end latency.
+  WhatIfPanel latency_network() const;
+
+  // --- §7 spot checks -----------------------------------------------------
+  /// PIO copy projected to `target_ns` (default 15): speedups of overall
+  /// injection and of e2e latency.
+  double pio_injection_speedup(double target_ns = 15.0) const;
+  double pio_latency_speedup(double target_ns = 15.0) const;
+  /// A `reduction` of all HLP (resp. LLP) components: injection speedup.
+  double hlp_injection_speedup(double reduction) const;
+  double llp_injection_speedup(double reduction) const;
+  /// I/O reduced by `reduction` (integrated NIC): latency speedup.
+  double integrated_nic_latency_speedup(double reduction) const;
+  /// Switch reduced to `target_ns` (Gen-Z forecast): latency speedup.
+  double switch_latency_speedup(double target_ns = 30.0) const;
+
+ private:
+  ComponentTable t_;
+  double inj_base_;
+  double lat_base_;
+};
+
+}  // namespace bb::core

@@ -1,0 +1,36 @@
+#include "cpu/core.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::cpu {
+
+Core::Core(sim::Simulator& simulator, CpuCostModel model, std::string name)
+    : sim_(simulator),
+      model_(model),
+      name_(std::move(name)),
+      rng_(simulator.rng().fork()) {}
+
+void Core::consume(TimePs d) {
+  BB_ASSERT_MSG(d >= TimePs::zero(), "CPU work cannot be negative");
+  pending_ += d;
+  busy_ += d;
+}
+
+TimePs Core::consume(const CostSpec& spec) {
+  TimePs d = spec.sample(rng_);
+  if (speed_factor_ != 1.0) d = d.scaled(speed_factor_);
+  consume(d);
+  return d;
+}
+
+sim::Task<void> Core::flush() {
+  if (pending_ > TimePs::zero()) {
+    const TimePs d = pending_;
+    pending_ = TimePs::zero();
+    co_await sim_.delay(d);
+  }
+}
+
+TimePs Core::virtual_now() const { return sim_.now() + pending_; }
+
+}  // namespace bb::cpu

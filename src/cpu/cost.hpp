@@ -1,0 +1,53 @@
+#pragma once
+// Cost specifications for CPU primitives.
+//
+// Every software component the paper times (§3-§5) is represented as a
+// `CostSpec`: a mean duration plus a jitter model. Samples are drawn from a
+// moment-matched lognormal (real timing noise is positively skewed) with an
+// optional rare heavy tail that models OS/SMM "hiccups" -- the paper's
+// Fig. 7 shows exactly this shape (median < mean, max of ~35 us against a
+// 282 ns mean).
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace bb::cpu {
+
+struct CostSpec {
+  /// Mean duration in nanoseconds.
+  double mean_ns = 0.0;
+  /// Coefficient of variation of the lognormal body (sd = cv * mean).
+  /// Zero means a deterministic cost.
+  double cv = 0.0;
+  /// Probability that a sample additionally incurs a hiccup.
+  double tail_prob = 0.0;
+  /// Mean of the exponential hiccup duration.
+  double tail_mean_ns = 0.0;
+
+  static constexpr CostSpec fixed(double ns) { return CostSpec{ns, 0.0, 0.0, 0.0}; }
+  static constexpr CostSpec jittered(double ns, double cv_) {
+    return CostSpec{ns, cv_, 0.0, 0.0};
+  }
+
+  TimePs mean() const { return TimePs::from_ns(mean_ns); }
+
+  TimePs sample(Rng& rng) const {
+    double v = mean_ns;
+    if (cv > 0.0 && mean_ns > 0.0) {
+      v = rng.lognormal_by_moments(mean_ns, cv * mean_ns);
+    }
+    if (tail_prob > 0.0 && rng.bernoulli(tail_prob)) {
+      v += rng.exponential(tail_mean_ns);
+    }
+    return TimePs::from_ns(v);
+  }
+
+  /// Returns a copy with the mean scaled by `f` (what-if experiments).
+  CostSpec scaled(double f) const {
+    CostSpec c = *this;
+    c.mean_ns *= f;
+    return c;
+  }
+};
+
+}  // namespace bb::cpu

@@ -1,0 +1,31 @@
+#include "cpu/memory.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::cpu {
+
+std::string to_string(MemoryType t) {
+  switch (t) {
+    case MemoryType::kNormal:
+      return "Normal";
+    case MemoryType::kDeviceGRE:
+      return "Device-GRE";
+    case MemoryType::kDeviceNGnRE:
+      return "Device-nGnRE";
+  }
+  BB_UNREACHABLE("bad MemoryType");
+}
+
+CostSpec write_cost_64b(const CpuCostModel& m, MemoryType t) {
+  switch (t) {
+    case MemoryType::kNormal:
+      return m.memcpy_normal_64b;
+    case MemoryType::kDeviceGRE:
+      return m.pio_copy_64b;
+    case MemoryType::kDeviceNGnRE:
+      return m.pio_copy_64b.scaled(kNGnREPenalty);
+  }
+  BB_UNREACHABLE("bad MemoryType");
+}
+
+}  // namespace bb::cpu

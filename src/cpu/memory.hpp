@@ -1,0 +1,34 @@
+#pragma once
+// ARMv8-A memory types relevant to the HW/SW interface (§4.1, §7).
+//
+// The PIO fast path writes the descriptor to memory-mapped device memory.
+// On the paper's ThunderX2 the mapping is Device-GRE (gathering,
+// re-ordering, early-ack), and a 64-byte write costs ~94 ns versus <1 ns to
+// cacheable Normal memory -- the gap §7's "PIO" what-if targets. This table
+// makes the memory type an explicit knob.
+
+#include <string>
+
+#include "cpu/cost.hpp"
+#include "cpu/cost_model.hpp"
+
+namespace bb::cpu {
+
+enum class MemoryType {
+  kNormal,      // cacheable, write-back
+  kDeviceGRE,   // gathering + re-ordering + early-ack (paper's mapping)
+  kDeviceNGnRE, // non-gathering: every store is a separate device access
+};
+
+std::string to_string(MemoryType t);
+
+/// Cost of a 64-byte store sequence to memory of the given type, expressed
+/// against a cost model. Device-nGnRE forbids write-gathering, so the
+/// 64-byte copy decomposes into eight ungathered 8-byte device stores; we
+/// model it as a fixed multiple of the gathered Device-GRE cost.
+CostSpec write_cost_64b(const CpuCostModel& m, MemoryType t);
+
+/// Multiplier applied to the Device-GRE PIO cost under Device-nGnRE.
+inline constexpr double kNGnREPenalty = 2.5;
+
+}  // namespace bb::cpu

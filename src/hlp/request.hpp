@@ -1,0 +1,22 @@
+#pragma once
+// Communication requests of the high-level protocol layers.
+
+#include <cstdint>
+
+namespace bb::hlp {
+
+struct Request {
+  enum class Kind : std::uint8_t { kSend, kRecv };
+
+  Kind kind = Kind::kSend;
+  std::uint32_t bytes = 0;
+  bool complete = false;
+  /// Send only: posted to the transport but waiting in the UCP pending
+  /// queue after a busy post (§6: "UCP schedules the successful execution
+  /// of LLP_post for busy posts during the progress of operations").
+  bool pending = false;
+  /// Identity for debugging/tests.
+  std::uint64_t seq = 0;
+};
+
+}  // namespace bb::hlp

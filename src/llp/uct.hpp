@@ -1,0 +1,24 @@
+#pragma once
+// Common types of the low-level communication protocol (LLP), a UCT-like
+// transport interface (§4).
+
+#include <cstdint>
+
+namespace bb::llp {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// The transmit queue is full: the post failed and the caller must
+  /// progress the worker before retrying ("busy post", §4.2).
+  kNoResource,
+};
+
+/// How descriptors request completions.
+struct SignalPolicy {
+  /// Every `period`-th descriptor is signalled; its CQE retires the whole
+  /// batch. 1 = every message signalled (the UCX perftest configuration);
+  /// 64 = UCX's unsignalled-completion default (§6, [14]).
+  std::uint32_t period = 1;
+};
+
+}  // namespace bb::llp

@@ -1,0 +1,68 @@
+#include "llp/worker.hpp"
+
+#include "llp/endpoint.hpp"
+
+namespace bb::llp {
+
+Worker::Worker(cpu::Core& core, nic::HostMemory& host, WorkerConfig cfg)
+    : core_(core), host_(host), cfg_(cfg) {}
+
+sim::Task<std::uint32_t> Worker::progress(std::uint32_t max_completions) {
+  const std::uint32_t limit =
+      max_completions == 0 ? cfg_.batch_limit : max_completions;
+  const cpu::CpuCostModel& costs = core_.costs();
+
+  prof::Profiler::Region r_pass;
+  if (profiler_ && wrap_ == "uct_worker_progress") {
+    r_pass = profiler_->begin("uct_worker_progress");
+  }
+  const bool wrap_prog = profiler_ && wrap_ == "LLP_prog";
+
+  std::uint32_t n = 0;
+  bool found = true;
+  while (n < limit && found) {
+    found = false;
+    const TimePs now = core_.virtual_now();
+
+    // RX CQ first: inbound completions unblock the latency-critical path.
+    if (auto cqe = host_.rx_cq().poll(now)) {
+      prof::Profiler::Region r;
+      if (wrap_prog) r = profiler_->begin("LLP_prog");
+      core_.consume(costs.llp_prog);
+      if (wrap_prog) profiler_->end(r);
+      ++rx_completions_;
+      ++n;
+      found = true;
+      if (rx_handler_) rx_handler_(*cqe);
+      continue;
+    }
+    // Then each endpoint's TX CQ.
+    for (Endpoint* ep : endpoints_) {
+      if (auto cqe = host_.tx_cq(ep->config().qp).poll(now)) {
+        prof::Profiler::Region r;
+        if (wrap_prog) r = profiler_->begin("LLP_prog");
+        core_.consume(costs.llp_prog);
+        if (wrap_prog) profiler_->end(r);
+        ++tx_cqes_polled_;
+        tx_ops_retired_ += cqe->completes;
+        ++n;
+        found = true;
+        ep->on_tx_cqe(*cqe);
+        break;
+      }
+    }
+  }
+
+  if (n == 0) {
+    // An empty pass still pays the load barrier and the CQ read miss.
+    core_.consume(costs.llp_empty_progress);
+  }
+
+  if (profiler_ && wrap_ == "uct_worker_progress") profiler_->end(r_pass);
+
+  // Materialize the consumed time so subsequent polls observe later CQEs.
+  co_await core_.flush();
+  co_return n;
+}
+
+}  // namespace bb::llp

@@ -1,0 +1,40 @@
+#include "net/fabric.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::net {
+
+Fabric::Fabric(sim::Simulator& sim, NetParams params, int node_count)
+    : sim_(sim), params_(params) {
+  BB_ASSERT(node_count >= 2);
+  handlers_.resize(static_cast<std::size_t>(node_count));
+  next_free_.resize(static_cast<std::size_t>(node_count));
+  last_arrival_.resize(static_cast<std::size_t>(node_count));
+}
+
+void Fabric::attach(int node, Handler h) {
+  BB_ASSERT(node >= 0 && node < node_count());
+  handlers_[static_cast<std::size_t>(node)] = std::move(h);
+}
+
+void Fabric::send(NetPacket pkt) {
+  BB_ASSERT(pkt.src_node != pkt.dst_node);
+  BB_ASSERT(pkt.src_node >= 0 && pkt.src_node < node_count());
+  BB_ASSERT(pkt.dst_node >= 0 && pkt.dst_node < node_count());
+  const auto src = static_cast<std::size_t>(pkt.src_node);
+
+  const TimePs depart = std::max(sim_.now(), next_free_[src]);
+  next_free_[src] = depart + params_.serialize(pkt.payload_bytes);
+  TimePs arrive = depart + params_.network_latency();
+  arrive = std::max(arrive, last_arrival_[src]);  // in-order delivery
+  last_arrival_[src] = arrive;
+
+  const auto dst = static_cast<std::size_t>(pkt.dst_node);
+  sim_.call_at(arrive, [this, dst, pkt = std::move(pkt)] {
+    ++packets_delivered_;
+    BB_ASSERT_MSG(handlers_[dst], "no NIC attached at destination node");
+    handlers_[dst](pkt);
+  });
+}
+
+}  // namespace bb::net

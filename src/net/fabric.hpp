@@ -1,0 +1,71 @@
+#pragma once
+// The interconnect fabric between two nodes: physical wire plus an
+// optional chain of switches.
+//
+// Timing: every packet incurs the one-way wire latency, one switch latency
+// per hop, and a bandwidth-limited serialization gap at the sender. The
+// defaults reproduce the paper's measurements: Wire = 274.81 ns for a
+// direct NIC-to-NIC connection, Switch = 108 ns per switch (Table 1).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace bb::net {
+
+struct NetParams {
+  /// One-way physical-wire latency for a direct connection (incl. SerDes).
+  double wire_latency_ns = 274.81;
+  /// Store-and-forward latency added by each switch.
+  double switch_latency_ns = 108.0;
+  /// Number of switches between the nodes (the paper's setup has one).
+  int num_switches = 1;
+  /// Sender occupancy per payload byte (EDR ~ 12.5 GB/s => 0.08 ns/B).
+  double serialize_ns_per_byte = 0.08;
+  /// Fixed per-packet framing bytes for serialization purposes.
+  std::uint32_t header_bytes = 30;
+
+  /// Total one-way fabric latency ("Network" in the paper's terminology).
+  TimePs network_latency() const {
+    return TimePs::from_ns(wire_latency_ns +
+                           switch_latency_ns * static_cast<double>(num_switches));
+  }
+  TimePs serialize(std::uint32_t payload_bytes) const {
+    return TimePs::from_ns(serialize_ns_per_byte *
+                           static_cast<double>(payload_bytes + header_bytes));
+  }
+};
+
+/// Switched fabric between `node_count` NICs (the paper's testbed has
+/// two; multi-rank workloads use more). Serialization and in-order
+/// delivery are maintained per sender.
+class Fabric {
+ public:
+  using Handler = std::function<void(const NetPacket&)>;
+
+  Fabric(sim::Simulator& sim, NetParams params, int node_count = 2);
+
+  void attach(int node, Handler h);
+  const NetParams& params() const { return params_; }
+  int node_count() const { return static_cast<int>(handlers_.size()); }
+
+  /// Transmits a packet from `pkt.src_node` to `pkt.dst_node`.
+  void send(NetPacket pkt);
+
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+ private:
+  sim::Simulator& sim_;
+  NetParams params_;
+  std::vector<Handler> handlers_;
+  // Per-sender transmitter state for serialization and ordering.
+  std::vector<TimePs> next_free_;
+  std::vector<TimePs> last_arrival_;
+  std::uint64_t packets_delivered_ = 0;
+};
+
+}  // namespace bb::net

@@ -1,0 +1,41 @@
+#pragma once
+// Packets on the high-performance interconnect between the two NICs.
+
+#include <cstdint>
+#include <string>
+
+#include "pcie/tlp.hpp"  // WireMd / WireOp
+
+namespace bb::net {
+
+struct NetPacket {
+  std::uint64_t msg_id = 0;
+  int src_node = 0;
+  int dst_node = 0;
+  /// Link-level acknowledgement from the target NIC (§2 step 4): carries
+  /// no payload and triggers completion generation at the initiator.
+  bool is_ack = false;
+  std::uint32_t payload_bytes = 0;
+  pcie::WireMd md;  // delivery semantics for data packets
+
+  static NetPacket data(const pcie::WireMd& md_, int src, int dst) {
+    NetPacket p;
+    p.msg_id = md_.msg_id;
+    p.src_node = src;
+    p.dst_node = dst;
+    p.payload_bytes = md_.payload_bytes;
+    p.md = md_;
+    return p;
+  }
+
+  static NetPacket ack(std::uint64_t msg_id_, int src, int dst) {
+    NetPacket p;
+    p.msg_id = msg_id_;
+    p.src_node = src;
+    p.dst_node = dst;
+    p.is_ack = true;
+    return p;
+  }
+};
+
+}  // namespace bb::net

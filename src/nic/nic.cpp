@@ -1,0 +1,223 @@
+#include "nic/nic.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::nic {
+
+Nic::Nic(sim::Simulator& sim, pcie::Link& link, net::Fabric& fabric,
+         int node_id, NicParams params, HostMemory& host,
+         pcie::CreditState up_credits)
+    : sim_(sim),
+      link_(link),
+      fabric_(fabric),
+      node_id_(node_id),
+      params_(params),
+      host_(host),
+      up_credits_(up_credits),
+      up_ingress_(sim),
+      up_credit_avail_(sim) {
+  link_.set_b_tlp_handler([this](const pcie::Tlp& t) { on_downstream_tlp(t); });
+  link_.set_b_dllp_handler(
+      [this](const pcie::Dllp& d) { on_downstream_dllp(d); });
+  fabric_.attach(node_id_, [this](const net::NetPacket& p) {
+    on_fabric_packet(p);
+  });
+  sim_.spawn(upstream_pump(), "nic-upstream-pump");
+}
+
+void Nic::on_downstream_tlp(const pcie::Tlp& tlp) {
+  // Return flow-control credits to the Root Complex for every processed
+  // downstream TLP (the counterpart of the RC's UpdateFC for upstream
+  // traffic). Without this the RC's posted-credit pool drains permanently
+  // after ~64 posts and injection stalls.
+  if (tlp.type != pcie::TlpType::kCompletionData) {
+    link_.send_dllp_upstream(pcie::CreditState::release_for(tlp));
+  }
+  switch (tlp.type) {
+    case pcie::TlpType::kMemWrite: {
+      if (const auto* desc =
+              std::get_if<pcie::DescriptorWrite>(&tlp.content)) {
+        const pcie::WireMd md = desc->md;
+        if (md.inline_payload) {
+          // PIO + inlining: descriptor and payload arrived whole.
+          sim_.call_at(sim_.now() + TimePs::from_ns(params_.tx_proc_ns),
+                       [this, md] { inject(md); });
+        } else {
+          // PIO descriptor, but the payload still lives in registered
+          // memory: fetch it with a DMA read (§2 step 3).
+          pcie::ReadRequest preq;
+          preq.what = pcie::ReadRequest::What::kPayload;
+          preq.qp = md.qp;
+          preq.host_addr = md.host_payload_addr;
+          preq.bytes = md.payload_bytes;
+          staged_payload_wait_[md.host_payload_addr] = md;
+          issue_dma_read(preq);
+        }
+        return;
+      }
+      if (const auto* db = std::get_if<pcie::DoorbellWrite>(&tlp.content)) {
+        // DMA path: fetch the descriptor from the host ring (§2 step 2).
+        pcie::ReadRequest req;
+        req.what = pcie::ReadRequest::What::kDescriptor;
+        req.qp = db->qp;
+        req.bytes = 64;
+        sim_.call_at(sim_.now() + TimePs::from_ns(params_.doorbell_proc_ns),
+                     [this, req] { issue_dma_read(req); });
+        return;
+      }
+      BB_UNREACHABLE("unexpected downstream MWr content at NIC");
+    }
+    case pcie::TlpType::kCompletionData: {
+      const auto* rc = std::get_if<pcie::ReadCompletion>(&tlp.content);
+      BB_ASSERT_MSG(rc != nullptr, "CplD without ReadCompletion content");
+      // Match against the outstanding read.
+      auto it = pending_reads_.find(tlp.tag);
+      BB_ASSERT_MSG(it != pending_reads_.end(), "CplD for unknown tag");
+      const pcie::ReadRequest req = it->second;
+      pending_reads_.erase(it);
+      on_read_completion(req, *rc);
+      return;
+    }
+    case pcie::TlpType::kMemRead:
+      BB_UNREACHABLE("NIC does not expect downstream MRd");
+  }
+}
+
+void Nic::on_downstream_dllp(const pcie::Dllp& d) {
+  if (d.type == pcie::DllpType::kUpdateFC) {
+    up_credits_.replenish(d);
+    up_credit_avail_.fire();
+  }
+}
+
+void Nic::issue_dma_read(pcie::ReadRequest req) {
+  pcie::Tlp tlp;
+  tlp.type = pcie::TlpType::kMemRead;
+  tlp.bytes = 0;  // MRd carries no data
+  tlp.tag = next_tag_++;
+  tlp.content = req;
+  pending_reads_[tlp.tag] = req;
+  ++dma_reads_issued_;
+  send_upstream(std::move(tlp));
+}
+
+void Nic::on_read_completion(const pcie::ReadRequest& req,
+                             const pcie::ReadCompletion& rc) {
+  if (rc.what == pcie::ReadRequest::What::kDescriptor) {
+    const pcie::WireMd md = rc.md;
+    if (md.inline_payload) {
+      // Payload arrived inside the descriptor; ready to inject.
+      sim_.call_at(sim_.now() + TimePs::from_ns(params_.tx_proc_ns),
+                   [this, md] { inject(md); });
+    } else {
+      // §2 step 3: fetch the payload from registered memory.
+      pcie::ReadRequest preq;
+      preq.what = pcie::ReadRequest::What::kPayload;
+      preq.qp = md.qp;
+      preq.host_addr = md.host_payload_addr;
+      preq.bytes = md.payload_bytes;
+      staged_payload_wait_[md.host_payload_addr] = md;
+      issue_dma_read(preq);
+    }
+    return;
+  }
+  // Payload arrived; find the descriptor waiting on this address.
+  auto it = staged_payload_wait_.find(req.host_addr);
+  BB_ASSERT_MSG(it != staged_payload_wait_.end(),
+                "payload CplD with no waiting descriptor");
+  const pcie::WireMd md = it->second;
+  staged_payload_wait_.erase(it);
+  sim_.call_at(sim_.now() + TimePs::from_ns(params_.tx_proc_ns),
+               [this, md] { inject(md); });
+}
+
+void Nic::inject(const pcie::WireMd& md) {
+  BB_ASSERT_MSG(in_flight_.find(md.msg_id) == in_flight_.end(),
+                "duplicate msg_id injection");
+  in_flight_[md.msg_id] = md;
+  ++messages_injected_;
+  const int dst = md.dst_node >= 0 ? md.dst_node : 1 - node_id_;
+  fabric_.send(net::NetPacket::data(md, node_id_, dst));
+}
+
+void Nic::send_upstream(pcie::Tlp tlp) {
+  tlp.dir = pcie::Direction::kUpstream;
+  up_ingress_.send(std::move(tlp));
+}
+
+sim::Task<void> Nic::upstream_pump() {
+  for (;;) {
+    pcie::Tlp tlp = co_await up_ingress_.receive();
+    while (!up_credits_.can_send(tlp)) {
+      ++credit_stalls_;
+      co_await up_credit_avail_.wait();
+    }
+    up_credits_.consume(tlp);
+    link_.send_upstream(std::move(tlp));
+  }
+}
+
+void Nic::on_fabric_packet(const net::NetPacket& pkt) {
+  if (pkt.is_ack) {
+    sim_.call_at(sim_.now() + TimePs::from_ns(params_.ack_handle_ns),
+                 [this, msg_id = pkt.msg_id] { on_ack(msg_id); });
+    return;
+  }
+
+  // Inbound data packet.
+  const pcie::WireMd& md = pkt.md;
+  if (md.op == pcie::WireOp::kSend) {
+    BB_ASSERT_MSG(rq_available_ > 0,
+                  "inbound send with no posted receive (RNR)");
+    --rq_available_;
+  }
+  sim_.call_at(sim_.now() + TimePs::from_ns(params_.rx_proc_ns),
+               [this, md] {
+                 pcie::Tlp tlp;
+                 tlp.type = pcie::TlpType::kMemWrite;
+                 tlp.bytes = md.payload_bytes;
+                 pcie::PayloadWrite pw;
+                 pw.msg_id = md.msg_id;
+                 pw.qp = md.qp;
+                 pw.bytes = md.payload_bytes;
+                 pw.user_data = md.user_data;
+                 pw.op = md.op;
+                 tlp.content = pw;
+                 send_upstream(std::move(tlp));
+               });
+  // §2 step 4: acknowledge to the initiator NIC. The ACK does not wait
+  // for the payload's RC-to-MEM commit.
+  sim_.call_at(sim_.now() +
+                   TimePs::from_ns(params_.rx_proc_ns + params_.ack_gen_ns),
+               [this, msg_id = pkt.msg_id, src = pkt.src_node] {
+                 fabric_.send(net::NetPacket::ack(msg_id, node_id_, src));
+               });
+}
+
+void Nic::on_ack(std::uint64_t msg_id) {
+  auto it = in_flight_.find(msg_id);
+  BB_ASSERT_MSG(it != in_flight_.end(), "ACK for unknown message");
+  const pcie::WireMd md = it->second;
+  in_flight_.erase(it);
+  ++acks_received_;
+
+  // Unsignalled-completion moderation: a signalled descriptor's CQE
+  // retires every unsignalled op before it on the same QP.
+  std::uint32_t& pending = pending_completes_[md.qp];
+  ++pending;
+  if (md.signaled) {
+    pcie::Tlp tlp;
+    tlp.type = pcie::TlpType::kMemWrite;
+    tlp.bytes = params_.cqe_bytes;
+    pcie::CqeWrite cqe;
+    cqe.qp = md.qp;
+    cqe.msg_id = md.msg_id;
+    cqe.completes = pending;
+    tlp.content = cqe;
+    pending = 0;
+    ++cqes_written_;
+    send_upstream(std::move(tlp));
+  }
+}
+
+}  // namespace bb::nic

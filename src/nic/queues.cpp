@@ -1,0 +1,61 @@
+#include "nic/queues.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::nic {
+
+std::optional<Cqe> CqRing::poll(TimePs now) {
+  if (entries_.empty() || entries_.front().visible_at > now) {
+    return std::nullopt;
+  }
+  Cqe e = entries_.front();
+  entries_.pop_front();
+  return e;
+}
+
+std::size_t CqRing::visible_count(TimePs now) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.visible_at > now) break;  // entries are pushed in time order
+    ++n;
+  }
+  return n;
+}
+
+std::size_t HostMemory::staged_count(std::uint32_t qp) const {
+  auto it = staged_.find(qp);
+  return it == staged_.end() ? 0 : it->second.size();
+}
+
+void HostMemory::commit_write(const pcie::Tlp& tlp, TimePs visible_at) {
+  if (const auto* cqe = std::get_if<pcie::CqeWrite>(&tlp.content)) {
+    tx_cqs_[cqe->qp].push(Cqe{cqe->msg_id, cqe->completes, 0, 0, visible_at});
+  } else if (const auto* pl = std::get_if<pcie::PayloadWrite>(&tlp.content)) {
+    payload_bytes_delivered_ += pl->bytes;
+    ++payload_writes_;
+    if (pl->op == pcie::WireOp::kSend) {
+      // Send-receive: the payload write carries the receive completion
+      // (mini-CQE); the posted receive completes when the write is visible.
+      rx_cq_.push(Cqe{pl->msg_id, 1, pl->user_data, pl->bytes, visible_at});
+    }
+  } else {
+    BB_UNREACHABLE("unexpected memory write content");
+  }
+  if (commit_hook_) commit_hook_();
+}
+
+pcie::ReadCompletion HostMemory::serve_read(const pcie::ReadRequest& req) {
+  pcie::ReadCompletion rc;
+  rc.what = req.what;
+  rc.bytes = req.bytes;
+  if (req.what == pcie::ReadRequest::What::kDescriptor) {
+    auto& q = staged_[req.qp];
+    BB_ASSERT_MSG(!q.empty(), "NIC fetched a descriptor that was not staged");
+    rc.md = q.front();
+    q.pop_front();
+    rc.bytes = 64;  // a device descriptor slot
+  }
+  return rc;
+}
+
+}  // namespace bb::nic

@@ -1,0 +1,99 @@
+#pragma once
+// Host-memory structures of the HW/SW interface (§2): completion-queue
+// rings written by the NIC through the Root Complex and polled by CPU
+// loads, plus the host-side descriptor ring the NIC DMA-reads on the
+// non-PIO path.
+//
+// Visibility semantics: the RC commits each DMA write at an absolute
+// simulated time; a CPU poll at core-local time `now` observes an entry
+// only if `visible_at <= now`. This is what makes LLP_prog's read of the
+// designated memory location behave like the real machine.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/units.hpp"
+#include "pcie/root_complex.hpp"
+#include "pcie/tlp.hpp"
+
+namespace bb::nic {
+
+/// One completion-queue entry as visible to the CPU.
+struct Cqe {
+  std::uint64_t msg_id = 0;
+  /// Number of operations this entry retires (unsignalled moderation).
+  std::uint32_t completes = 1;
+  /// Immediate data carried by the message (RX completions only).
+  std::uint64_t user_data = 0;
+  /// Payload size delivered (RX completions only).
+  std::uint32_t bytes = 0;
+  TimePs visible_at;
+};
+
+/// A CQ ring in host memory.
+class CqRing {
+ public:
+  void push(Cqe e) { entries_.push_back(e); ++total_pushed_; }
+
+  /// Dequeues the oldest entry visible at `now`, if any.
+  std::optional<Cqe> poll(TimePs now);
+  /// Entries currently visible at `now` (without dequeuing).
+  std::size_t visible_count(TimePs now) const;
+  /// Entries present regardless of visibility.
+  std::size_t depth() const { return entries_.size(); }
+  std::uint64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::deque<Cqe> entries_;
+  std::uint64_t total_pushed_ = 0;
+};
+
+/// The host-memory image of one node: CQ rings, the staged-descriptor ring
+/// for the DMA descriptor path, and payload-delivery accounting. Serves as
+/// the RC's memory sink and DMA-read provider.
+class HostMemory {
+ public:
+  CqRing& tx_cq(std::uint32_t qp) { return tx_cqs_[qp]; }
+  CqRing& rx_cq() { return rx_cq_; }
+
+  /// Node-wide unique message ids (several workers/cores on one node
+  /// share the NIC, whose in-flight tracking is keyed by msg_id).
+  std::uint64_t alloc_msg_id() { return next_msg_id_++; }
+
+  /// Invoked after every committed DMA write (at its visibility time) --
+  /// the hook interrupt-driven completion (§2) hangs off.
+  void set_commit_hook(std::function<void()> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
+  /// Driver stages a descriptor in the host ring before ringing the
+  /// DoorBell (non-PIO path, §2 step 0).
+  void stage_descriptor(const pcie::WireMd& md) {
+    staged_[md.qp].push_back(md);
+  }
+  std::size_t staged_count(std::uint32_t qp) const;
+
+  /// RC memory-sink entry point: a DMA write became visible.
+  void commit_write(const pcie::Tlp& tlp, TimePs visible_at);
+  /// RC read-provider entry point: a NIC DMA read is being served.
+  pcie::ReadCompletion serve_read(const pcie::ReadRequest& req);
+
+  std::uint64_t payload_bytes_delivered() const {
+    return payload_bytes_delivered_;
+  }
+  std::uint64_t payload_writes() const { return payload_writes_; }
+
+ private:
+  std::map<std::uint32_t, CqRing> tx_cqs_;
+  CqRing rx_cq_;
+  std::map<std::uint32_t, std::deque<pcie::WireMd>> staged_;
+  std::uint64_t next_msg_id_ = 1;
+  std::function<void()> commit_hook_;
+  std::uint64_t payload_bytes_delivered_ = 0;
+  std::uint64_t payload_writes_ = 0;
+};
+
+}  // namespace bb::nic

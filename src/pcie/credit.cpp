@@ -1,0 +1,103 @@
+#include "pcie/credit.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::pcie {
+
+std::string to_string(DllpType t) {
+  switch (t) {
+    case DllpType::kAck:
+      return "Ack";
+    case DllpType::kNak:
+      return "Nak";
+    case DllpType::kUpdateFC:
+      return "UpdateFC";
+  }
+  BB_UNREACHABLE("bad DllpType");
+}
+
+std::string to_string(CreditClass c) {
+  switch (c) {
+    case CreditClass::kPosted:
+      return "P";
+    case CreditClass::kNonPosted:
+      return "NP";
+    case CreditClass::kCompletion:
+      return "CPL";
+  }
+  BB_UNREACHABLE("bad CreditClass");
+}
+
+CreditState CreditState::default_endpoint() {
+  // Generous budgets typical of a x8 port: 64 posted headers with 1 KiB of
+  // data credits, 32 non-posted headers, 64 completion headers.
+  return with_budget({64, 1024 / 16 * 16}, {32, 32}, {64, 1024});
+}
+
+CreditState CreditState::with_budget(CreditBudget posted,
+                                     CreditBudget non_posted,
+                                     CreditBudget completion) {
+  CreditState s;
+  s.cls(CreditClass::kPosted).limit = posted;
+  s.cls(CreditClass::kPosted).available_ = posted;
+  s.cls(CreditClass::kNonPosted).limit = non_posted;
+  s.cls(CreditClass::kNonPosted).available_ = non_posted;
+  s.cls(CreditClass::kCompletion).limit = completion;
+  s.cls(CreditClass::kCompletion).available_ = completion;
+  return s;
+}
+
+CreditClass CreditState::class_of(const Tlp& tlp) {
+  switch (tlp.type) {
+    case TlpType::kMemWrite:
+      return CreditClass::kPosted;
+    case TlpType::kMemRead:
+      return CreditClass::kNonPosted;
+    case TlpType::kCompletionData:
+      return CreditClass::kCompletion;
+  }
+  BB_UNREACHABLE("bad TlpType");
+}
+
+bool CreditState::can_send(const Tlp& tlp) const {
+  const PerClass& c = cls(class_of(tlp));
+  return c.available_.header >= 1 && c.available_.data >= data_credit_units(tlp);
+}
+
+void CreditState::consume(const Tlp& tlp) {
+  PerClass& c = cls(class_of(tlp));
+  BB_ASSERT_MSG(can_send(tlp), "credit consume without availability");
+  c.available_.header -= 1;
+  c.available_.data -= data_credit_units(tlp);
+  c.consumed_headers += 1;
+}
+
+void CreditState::replenish(const Dllp& update) {
+  BB_ASSERT(update.type == DllpType::kUpdateFC);
+  PerClass& c = cls(update.credit_class);
+  c.available_.header += update.header_credits;
+  c.available_.data += update.data_credits;
+  c.replenished_headers += update.header_credits;
+  BB_ASSERT_MSG(c.available_.header <= c.limit.header &&
+                    c.available_.data <= c.limit.data,
+                "credit replenish exceeded advertised budget");
+}
+
+CreditBudget CreditState::available(CreditClass c) const {
+  return cls(c).available_;
+}
+
+Dllp CreditState::release_for(const Tlp& tlp) {
+  Dllp d;
+  d.type = DllpType::kUpdateFC;
+  d.credit_class = class_of(tlp);
+  d.header_credits = 1;
+  d.data_credits = data_credit_units(tlp);
+  return d;
+}
+
+std::int64_t CreditState::outstanding_headers(CreditClass c) const {
+  return cls(c).consumed_headers - cls(c).replenished_headers;
+}
+
+}  // namespace bb::pcie

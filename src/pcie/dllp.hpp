@@ -1,0 +1,36 @@
+#pragma once
+// Data Link Layer Packets (§2): per-TLP acknowledgements and the
+// credit-replenishing UpdateFC packets of the flow-control protocol.
+
+#include <cstdint>
+#include <string>
+
+namespace bb::pcie {
+
+enum class DllpType : std::uint8_t {
+  kAck,       // data-link acknowledgement of a received TLP
+  kNak,       // retransmission request (modelled but not exercised on the
+              // error-free critical path)
+  kUpdateFC,  // credit replenishment
+};
+
+enum class CreditClass : std::uint8_t {
+  kPosted,     // MWr
+  kNonPosted,  // MRd
+  kCompletion, // CplD
+};
+
+std::string to_string(DllpType t);
+std::string to_string(CreditClass c);
+
+struct Dllp {
+  DllpType type = DllpType::kAck;
+  /// Sequence number of the TLP being acknowledged (kAck/kNak).
+  std::uint64_t ack_seq = 0;
+  /// Credits being returned (kUpdateFC).
+  CreditClass credit_class = CreditClass::kPosted;
+  std::uint32_t header_credits = 0;
+  std::uint32_t data_credits = 0;
+};
+
+}  // namespace bb::pcie

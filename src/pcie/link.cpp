@@ -1,0 +1,85 @@
+#include "pcie/link.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::pcie {
+
+Link::Link(sim::Simulator& sim, LinkParams params, Analyzer* tap)
+    : sim_(sim), params_(params), tap_(tap) {}
+
+void Link::send_downstream(Tlp tlp) {
+  tlp.dir = Direction::kDownstream;
+  transmit_tlp(Direction::kDownstream, std::move(tlp));
+}
+
+void Link::send_upstream(Tlp tlp) {
+  tlp.dir = Direction::kUpstream;
+  transmit_tlp(Direction::kUpstream, std::move(tlp));
+}
+
+void Link::send_dllp_downstream(Dllp d) {
+  transmit_dllp(Direction::kDownstream, d);
+}
+
+void Link::send_dllp_upstream(Dllp d) { transmit_dllp(Direction::kUpstream, d); }
+
+void Link::transmit_tlp(Direction dir, Tlp tlp) {
+  DirState& st = dir_state(dir);
+  const TimePs depart = std::max(sim_.now(), st.next_free);
+  st.next_free = depart + params_.serialize(tlp.bytes);
+  TimePs arrive = depart + params_.tlp_latency(tlp.bytes);
+  arrive = std::max(arrive, st.last_arrival);  // posted-ordering guarantee
+  st.last_arrival = arrive;
+
+  const std::uint64_t seq = st.next_seq++;
+
+  // Tap: upstream packets pass the tap as they leave the NIC (depart);
+  // downstream packets pass it as they arrive at the NIC.
+  if (tap_ && dir == Direction::kUpstream) tap_->on_tlp(depart, tlp);
+
+  sim_.call_at(arrive, [this, dir, tlp = std::move(tlp), seq, arrive]() {
+    if (tap_ && dir == Direction::kDownstream) tap_->on_tlp(arrive, tlp);
+    ++tlps_delivered_;
+
+    // Data-link acknowledgement from the receiving end.
+    Dllp ack;
+    ack.type = DllpType::kAck;
+    ack.ack_seq = seq;
+    const Direction back = dir == Direction::kDownstream
+                               ? Direction::kUpstream
+                               : Direction::kDownstream;
+    sim_.call_at(sim_.now() + TimePs::from_ns(params_.ack_processing_ns),
+                 [this, back, ack] {
+                   transmit_dllp(back, ack);
+                 });
+
+    // Deliver to the endpoint.
+    if (dir == Direction::kDownstream) {
+      if (b_tlp_) b_tlp_(tlp);
+    } else {
+      if (a_tlp_) a_tlp_(tlp);
+    }
+  });
+}
+
+void Link::transmit_dllp(Direction dir, Dllp d) {
+  DirState& st = dir_state(dir);
+  const TimePs depart = std::max(sim_.now(), st.next_free);
+  st.next_free = depart + params_.serialize(params_.dllp_bytes);
+  TimePs arrive = depart + params_.dllp_latency();
+  arrive = std::max(arrive, st.last_arrival);
+  st.last_arrival = arrive;
+
+  if (tap_ && dir == Direction::kUpstream) tap_->on_dllp(depart, dir, d);
+
+  sim_.call_at(arrive, [this, dir, d, arrive] {
+    if (tap_ && dir == Direction::kDownstream) tap_->on_dllp(arrive, dir, d);
+    if (dir == Direction::kDownstream) {
+      if (b_dllp_) b_dllp_(d);
+    } else {
+      if (a_dllp_) a_dllp_(d);
+    }
+  });
+}
+
+}  // namespace bb::pcie

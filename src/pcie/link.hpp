@@ -1,0 +1,107 @@
+#pragma once
+// The PCIe link between the Root Complex (endpoint A) and the NIC
+// (endpoint B), with the analyzer tap sitting "just before the NIC"
+// (paper §3, Fig. 3).
+//
+// Timing model: a packet leaving an endpoint occupies the transmitter for
+// a serialization gap (back-to-back throughput limit) and arrives after a
+// size-dependent latency. Posted-write ordering is preserved per
+// direction. The data-link layer is modelled by per-TLP Ack DLLPs
+// generated at the receiving end.
+//
+// Tap semantics: downstream packets are recorded when they *arrive* at B
+// (the analyzer is upstream-adjacent to the NIC); upstream packets are
+// recorded when they *depart* B. This is exactly the vantage point the
+// paper's measurement methodology relies on.
+
+#include <functional>
+
+#include "common/units.hpp"
+#include "pcie/dllp.hpp"
+#include "pcie/tlp.hpp"
+#include "pcie/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace bb::pcie {
+
+struct LinkParams {
+  /// Fixed one-way latency (stack traversal + wire).
+  double base_latency_ns = 134.83;
+  /// Additional latency per payload byte.
+  double per_byte_ns = 0.06;
+  /// Transmitter occupancy per byte (Gen3 x8 ~ 8 GB/s => 0.125 ns/B).
+  double serialize_ns_per_byte = 0.125;
+  /// Receiver processing before the data-link Ack is emitted.
+  double ack_processing_ns = 1.0;
+  /// Header bytes added to every TLP for serialization purposes.
+  std::uint32_t tlp_header_bytes = 24;
+  std::uint32_t dllp_bytes = 8;
+
+  TimePs tlp_latency(std::uint32_t payload_bytes) const {
+    return TimePs::from_ns(base_latency_ns +
+                           per_byte_ns * static_cast<double>(payload_bytes));
+  }
+  TimePs dllp_latency() const {
+    return TimePs::from_ns(base_latency_ns +
+                           per_byte_ns * static_cast<double>(dllp_bytes));
+  }
+  TimePs serialize(std::uint32_t payload_bytes) const {
+    return TimePs::from_ns(serialize_ns_per_byte *
+                           static_cast<double>(payload_bytes + tlp_header_bytes));
+  }
+
+  /// The one-way "PCIe" component the paper's methodology would measure on
+  /// this link: half of the (64 B MWr -> Ack DLLP) round trip.
+  double measured_pcie_ns() const {
+    return (tlp_latency(64).to_ns() + ack_processing_ns +
+            dllp_latency().to_ns()) /
+           2.0;
+  }
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, LinkParams params, Analyzer* tap = nullptr);
+
+  const LinkParams& params() const { return params_; }
+
+  // Handlers installed by the endpoints.
+  void set_a_tlp_handler(std::function<void(const Tlp&)> h) { a_tlp_ = std::move(h); }
+  void set_b_tlp_handler(std::function<void(const Tlp&)> h) { b_tlp_ = std::move(h); }
+  void set_a_dllp_handler(std::function<void(const Dllp&)> h) { a_dllp_ = std::move(h); }
+  void set_b_dllp_handler(std::function<void(const Dllp&)> h) { b_dllp_ = std::move(h); }
+
+  /// Transmits a TLP downstream (A -> B). The TLP's `dir` is stamped.
+  void send_downstream(Tlp tlp);
+  /// Transmits a TLP upstream (B -> A).
+  void send_upstream(Tlp tlp);
+  void send_dllp_downstream(Dllp d);
+  void send_dllp_upstream(Dllp d);
+
+  std::uint64_t tlps_delivered() const { return tlps_delivered_; }
+
+ private:
+  struct DirState {
+    TimePs next_free = TimePs::zero();    // transmitter availability
+    TimePs last_arrival = TimePs::zero(); // ordering enforcement
+    std::uint64_t next_seq = 1;           // data-link sequence numbers
+  };
+
+  /// Computes departure/arrival and schedules delivery.
+  void transmit_tlp(Direction dir, Tlp tlp);
+  void transmit_dllp(Direction dir, Dllp d);
+  DirState& dir_state(Direction d) {
+    return d == Direction::kDownstream ? down_ : up_;
+  }
+
+  sim::Simulator& sim_;
+  LinkParams params_;
+  Analyzer* tap_;
+  DirState down_;
+  DirState up_;
+  std::function<void(const Tlp&)> a_tlp_, b_tlp_;
+  std::function<void(const Dllp&)> a_dllp_, b_dllp_;
+  std::uint64_t tlps_delivered_ = 0;
+};
+
+}  // namespace bb::pcie

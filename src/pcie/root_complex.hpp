@@ -1,0 +1,88 @@
+#pragma once
+// The Root Complex (§2): connects the processor and memory to the PCIe
+// fabric.
+//
+// Downstream: CPU cores deposit posted MMIO writes (DoorBell rings, PIO
+// descriptor copies); the RC issues them as MWr TLPs as soon as flow-
+// control credits allow. Its own generation cost is a few cycles and is
+// ignored, following §4.2.
+//
+// Upstream: MWr TLPs from the NIC (completions, inbound payloads) are
+// committed to host memory after the RC-to-MEM(x B) latency and then
+// surfaced to the registered memory sink; MRd TLPs (NIC DMA reads of
+// descriptors/payloads) are answered with CplD after the memory read
+// latency. Every processed upstream TLP returns its credits to the NIC
+// via an UpdateFC DLLP.
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hpp"
+#include "pcie/credit.hpp"
+#include "pcie/link.hpp"
+#include "sim/channel.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulator.hpp"
+
+namespace bb::pcie {
+
+struct RcParams {
+  /// RC-to-MEM(x B) = base + per_byte * x. Calibrated so that
+  /// RC-to-MEM(8 B) = 240.96 ns (Table 1).
+  double rc_to_mem_base_ns = 238.16;
+  double rc_to_mem_per_byte_ns = 0.35;
+  /// Host DRAM read latency serving a NIC DMA read.
+  double mem_read_ns = 150.0;
+
+  TimePs rc_to_mem(std::uint32_t bytes) const {
+    return TimePs::from_ns(rc_to_mem_base_ns +
+                           rc_to_mem_per_byte_ns * static_cast<double>(bytes));
+  }
+};
+
+class RootComplex {
+ public:
+  /// A committed host-memory write: the TLP plus the time at which the
+  /// write became visible to CPU loads.
+  using MemorySink = std::function<void(const Tlp&, TimePs visible_at)>;
+  /// Serves NIC DMA reads of host-resident descriptors/payloads.
+  using ReadProvider = std::function<ReadCompletion(const ReadRequest&)>;
+
+  RootComplex(sim::Simulator& sim, Link& link, RcParams params,
+              CreditState credits = CreditState::default_endpoint());
+  RootComplex(const RootComplex&) = delete;
+  RootComplex& operator=(const RootComplex&) = delete;
+
+  void set_memory_sink(MemorySink sink) { mem_sink_ = std::move(sink); }
+  void set_read_provider(ReadProvider p) { read_provider_ = std::move(p); }
+
+  /// Posted MMIO write from a CPU core (fire-and-forget: posted writes do
+  /// not stall the core). The caller must have flushed its core first.
+  void post_mmio(Tlp tlp);
+
+  const RcParams& params() const { return params_; }
+  const CreditState& credits() const { return credits_; }
+
+  std::uint64_t mmio_issued() const { return mmio_issued_; }
+  std::uint64_t mem_writes_committed() const { return mem_writes_committed_; }
+  std::uint64_t credit_stalls() const { return credit_stalls_; }
+
+ private:
+  sim::Task<void> downstream_pump();
+  void on_upstream_tlp(const Tlp& tlp);
+  void on_upstream_dllp(const Dllp& d);
+
+  sim::Simulator& sim_;
+  Link& link_;
+  RcParams params_;
+  CreditState credits_;
+  sim::Channel<Tlp> ingress_;
+  sim::Signal credit_avail_;
+  MemorySink mem_sink_;
+  ReadProvider read_provider_;
+  std::uint64_t mmio_issued_ = 0;
+  std::uint64_t mem_writes_committed_ = 0;
+  std::uint64_t credit_stalls_ = 0;
+};
+
+}  // namespace bb::pcie

@@ -1,0 +1,137 @@
+#include "pcie/trace.hpp"
+
+#include <cstdio>
+
+namespace bb::pcie {
+
+std::uint64_t msg_id_of(const Tlp& tlp) {
+  if (const auto* d = std::get_if<DescriptorWrite>(&tlp.content)) {
+    return d->md.msg_id;
+  }
+  if (const auto* c = std::get_if<CqeWrite>(&tlp.content)) return c->msg_id;
+  if (const auto* p = std::get_if<PayloadWrite>(&tlp.content)) return p->msg_id;
+  return 0;
+}
+
+std::string kind_of(const Tlp& tlp) {
+  if (std::holds_alternative<DoorbellWrite>(tlp.content)) return "DoorBell";
+  if (std::holds_alternative<DescriptorWrite>(tlp.content)) return "PIO-MD";
+  if (std::holds_alternative<CqeWrite>(tlp.content)) return "CQE";
+  if (std::holds_alternative<PayloadWrite>(tlp.content)) return "payload";
+  if (std::holds_alternative<ReadRequest>(tlp.content)) return "DMA-read";
+  if (std::holds_alternative<ReadCompletion>(tlp.content)) return "DMA-data";
+  return "-";
+}
+
+void Trace::record_tlp(TimePs t, const Tlp& tlp) {
+  TraceRecord r;
+  r.t = t;
+  r.dir = tlp.dir;
+  r.is_dllp = false;
+  r.tlp_type = tlp.type;
+  r.bytes = tlp.bytes;
+  r.tag = tlp.tag;
+  r.msg_id = msg_id_of(tlp);
+  r.kind = kind_of(tlp);
+  records_.push_back(std::move(r));
+}
+
+void Trace::record_dllp(TimePs t, Direction dir, const Dllp& dllp) {
+  TraceRecord r;
+  r.t = t;
+  r.dir = dir;
+  r.is_dllp = true;
+  r.dllp_type = dllp.type;
+  r.bytes = 8;
+  r.tag = dllp.ack_seq;
+  r.kind = to_string(dllp.type);
+  records_.push_back(std::move(r));
+}
+
+std::vector<TraceRecord> Trace::filter(
+    const std::function<bool(const TraceRecord&)>& pred) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> Trace::downstream_writes(
+    std::uint32_t min_bytes) const {
+  return filter([min_bytes](const TraceRecord& r) {
+    return !r.is_dllp && r.dir == Direction::kDownstream &&
+           r.tlp_type == TlpType::kMemWrite && r.bytes >= min_bytes;
+  });
+}
+
+std::vector<TraceRecord> Trace::upstream_writes(std::uint32_t min_bytes) const {
+  return filter([min_bytes](const TraceRecord& r) {
+    return !r.is_dllp && r.dir == Direction::kUpstream &&
+           r.tlp_type == TlpType::kMemWrite && r.bytes >= min_bytes;
+  });
+}
+
+Samples Trace::deltas(const std::vector<TraceRecord>& recs) {
+  Samples s;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    s.add(recs[i].t - recs[i - 1].t);
+  }
+  return s;
+}
+
+Samples Trace::spans(const std::vector<TraceRecord>& from,
+                     const std::vector<TraceRecord>& to, bool match_msg_id) {
+  Samples s;
+  std::size_t j = 0;
+  for (const auto& f : from) {
+    if (match_msg_id) {
+      for (const auto& t : to) {
+        if (t.msg_id == f.msg_id && t.t > f.t) {
+          s.add(t.t - f.t);
+          break;
+        }
+      }
+    } else {
+      while (j < to.size() && to[j].t <= f.t) ++j;
+      if (j == to.size()) break;
+      s.add(to[j].t - f.t);
+      ++j;
+    }
+  }
+  return s;
+}
+
+std::string Trace::to_csv() const {
+  std::string out = "time_ns,dir,packet,bytes,kind,msg_id\n";
+  char line[160];
+  for (const auto& r : records_) {
+    std::snprintf(line, sizeof(line), "%.3f,%s,%s,%u,%s,%llu\n", r.t.to_ns(),
+                  to_string(r.dir).c_str(),
+                  r.is_dllp ? to_string(r.dllp_type).c_str()
+                            : to_string(r.tlp_type).c_str(),
+                  r.bytes, r.kind.c_str(),
+                  static_cast<unsigned long long>(r.msg_id));
+    out += line;
+  }
+  return out;
+}
+
+std::string Trace::render(std::size_t start, std::size_t count) const {
+  std::string out =
+      "      time (ns)  dir   pkt       bytes  kind       msg\n";
+  char line[160];
+  for (std::size_t i = start; i < records_.size() && i < start + count; ++i) {
+    const auto& r = records_[i];
+    std::snprintf(line, sizeof(line), "%15.2f  %-4s  %-8s  %5u  %-9s  %llu\n",
+                  r.t.to_ns(), to_string(r.dir).c_str(),
+                  r.is_dllp ? to_string(r.dllp_type).c_str()
+                            : to_string(r.tlp_type).c_str(),
+                  r.bytes, r.kind.c_str(),
+                  static_cast<unsigned long long>(r.msg_id));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bb::pcie

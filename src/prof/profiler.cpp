@@ -1,0 +1,61 @@
+#include "prof/profiler.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::prof {
+
+Profiler::Region Profiler::begin(std::string name) {
+  Region r;
+  if (!enabled_) return r;
+  r.active = true;
+  r.name = std::move(name);
+  r.t0 = core_.virtual_now();
+  // One overhead sample per region, half charged at each edge; the raw
+  // span t1 - t0 then contains exactly one sampled overhead.
+  const TimePs overhead = core_.costs().timer_read.sample(core_.rng());
+  const TimePs half = overhead / 2;
+  r.deferred_overhead = overhead - half;
+  core_.consume(half);
+  return r;
+}
+
+void Profiler::end(Region& r) {
+  if (!r.active) return;
+  r.active = false;
+  core_.consume(r.deferred_overhead);
+  const TimePs raw = core_.virtual_now() - r.t0;
+  // §3: "we report software measurements after removing this overhead."
+  const double corrected = raw.to_ns() - overhead_mean_ns();
+  by_name_[r.name].add_ns(corrected);
+}
+
+void Profiler::record_ns(const std::string& name, double ns) {
+  by_name_[name].add_ns(ns);
+}
+
+bool Profiler::has(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+const Samples& Profiler::samples(const std::string& name) const {
+  auto it = by_name_.find(name);
+  BB_ASSERT_MSG(it != by_name_.end(), "no samples for region");
+  return it->second;
+}
+
+double Profiler::mean_ns(const std::string& name) const {
+  return samples(name).summarize().mean;
+}
+
+std::string Profiler::report() const {
+  TextTable t({"Region", "Count", "Mean (ns)", "SD", "Min", "Max"});
+  for (const auto& [name, samples] : by_name_) {
+    const Summary s = samples.summarize();
+    t.add_row({name, std::to_string(s.count), TextTable::num(s.mean),
+               TextTable::num(s.stddev), TextTable::num(s.min),
+               TextTable::num(s.max)});
+  }
+  return t.render();
+}
+
+}  // namespace bb::prof

@@ -1,0 +1,36 @@
+#include "scenario/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::scenario {
+
+Cluster::Cluster(SystemConfig cfg, int node_count)
+    : cfg_(std::move(cfg)),
+      sim_(cfg_.seed),
+      fabric_(sim_, cfg_.net, node_count) {
+  BB_ASSERT(node_count >= 2);
+  nodes_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim_, fabric_, cfg_, i,
+                                            i == 0 ? &analyzer_ : nullptr));
+  }
+}
+
+Cluster::Node& Cluster::node(int i) {
+  BB_ASSERT(i >= 0 && i < node_count());
+  return *nodes_[static_cast<std::size_t>(i)];
+}
+
+llp::Endpoint& Cluster::add_endpoint(int node_id, int peer_node,
+                                     std::optional<llp::EndpointConfig> cfg) {
+  BB_ASSERT(peer_node >= 0 && peer_node < node_count() &&
+            peer_node != node_id);
+  llp::EndpointConfig c = cfg.value_or(cfg_.endpoint);
+  c.qp = next_qp_++;
+  c.peer_node = peer_node;
+  Node& n = node(node_id);
+  endpoints_.emplace_back(n.worker, n.rc, c);
+  return endpoints_.back();
+}
+
+}  // namespace bb::scenario

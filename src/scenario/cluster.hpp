@@ -1,0 +1,42 @@
+#pragma once
+// An N-node cluster: the two-node testbed of §3 generalized for
+// multi-rank workloads (ring exchanges, neighbour stencils). Every node
+// gets the full per-node hardware (core, host memory, PCIe link + RC,
+// NIC); the fabric routes by destination. The analyzer taps node 0.
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "scenario/testbed.hpp"
+
+namespace bb::scenario {
+
+class Cluster {
+ public:
+  using Node = Testbed::Node;
+
+  Cluster(SystemConfig cfg, int node_count);
+
+  sim::Simulator& sim() { return sim_; }
+  const SystemConfig& config() const { return cfg_; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i);
+  pcie::Analyzer& analyzer() { return analyzer_; }
+
+  /// An endpoint on `node_id` targeting `peer_node`, on a fresh QP.
+  llp::Endpoint& add_endpoint(int node_id, int peer_node,
+                              std::optional<llp::EndpointConfig> cfg = {});
+
+ private:
+  SystemConfig cfg_;
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  pcie::Analyzer analyzer_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::deque<llp::Endpoint> endpoints_;
+  std::uint32_t next_qp_ = 1;
+};
+
+}  // namespace bb::scenario

@@ -1,0 +1,62 @@
+#include "scenario/testbed.hpp"
+
+#include "common/assert.hpp"
+
+namespace bb::scenario {
+
+Testbed::Node::Node(sim::Simulator& sim, net::Fabric& fabric,
+                    const SystemConfig& cfg, int id, pcie::Analyzer* tap)
+    : core(sim, cfg.cpu, id == 0 ? "core0" : "core1"),
+      profiler(core),
+      host(),
+      link(sim, cfg.link, tap),
+      rc(sim, link, cfg.rc),
+      nic(sim, link, fabric, id, cfg.nic, host),
+      worker(core, host, cfg.llp_worker),
+      cq_interrupt(sim) {
+  worker.set_profiler(&profiler);
+  host.set_commit_hook([this] { cq_interrupt.fire(); });
+  rc.set_memory_sink([this](const pcie::Tlp& tlp, TimePs visible_at) {
+    host.commit_write(tlp, visible_at);
+  });
+  rc.set_read_provider([this](const pcie::ReadRequest& req) {
+    return host.serve_read(req);
+  });
+}
+
+Testbed::Testbed(SystemConfig cfg)
+    : cfg_(std::move(cfg)), sim_(cfg_.seed), fabric_(sim_, cfg_.net) {
+  nodes_[0] = std::make_unique<Node>(sim_, fabric_, cfg_, 0, &analyzer_);
+  nodes_[1] = std::make_unique<Node>(sim_, fabric_, cfg_, 1, nullptr);
+}
+
+Testbed::Node& Testbed::node(int i) {
+  BB_ASSERT(i == 0 || i == 1);
+  return *nodes_[i];
+}
+
+llp::Endpoint& Testbed::add_endpoint(int node_id,
+                                     std::optional<llp::EndpointConfig> cfg) {
+  Node& n = node(node_id);
+  endpoints_.emplace_back(n.worker, n.rc, cfg.value_or(cfg_.endpoint));
+  return endpoints_.back();
+}
+
+llp::Endpoint& Testbed::add_endpoint(WorkerCore& wc, int node_id,
+                                     std::optional<llp::EndpointConfig> cfg) {
+  llp::EndpointConfig c = cfg.value_or(cfg_.endpoint);
+  c.qp = next_qp_++;
+  endpoints_.emplace_back(wc.worker, node(node_id).rc, c);
+  return endpoints_.back();
+}
+
+Testbed::WorkerCore& Testbed::add_core(int node_id) {
+  Node& n = node(node_id);
+  const auto idx = extra_cores_.size();
+  extra_cores_.emplace_back(
+      sim_, cfg_.cpu, n.host, cfg_.llp_worker,
+      "core" + std::to_string(node_id) + "-" + std::to_string(idx + 1));
+  return extra_cores_.back();
+}
+
+}  // namespace bb::scenario

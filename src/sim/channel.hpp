@@ -1,0 +1,87 @@
+#pragma once
+// Message channels between simulation processes.
+//
+// `Channel<T>` is an unbounded FIFO: `send()` never blocks (hardware queues
+// with finite depth model their own back-pressure explicitly, which is what
+// the paper's busy-post semantics require); `co_await ch.receive()` blocks
+// the receiving process until an item is available. Receivers are served in
+// FIFO order and resumed through the simulator queue at the current time,
+// preserving global determinism.
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace bb::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim) : sim_(&sim) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  void send(T value) {
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      *w.slot = std::move(value);
+      sim_->schedule_at(sim_->now(), w.h);
+    } else {
+      items_.push_back(std::move(value));
+    }
+  }
+
+  std::size_t pending() const { return items_.size(); }
+  bool has_waiters() const { return !waiters_.empty(); }
+
+  class ReceiveAwaiter {
+   public:
+    explicit ReceiveAwaiter(Channel& ch) : ch_(ch) {}
+    bool await_ready() {
+      if (!ch_.items_.empty()) {
+        slot_ = std::move(ch_.items_.front());
+        ch_.items_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ch_.waiters_.push_back(Waiter{h, &slot_});
+    }
+    T await_resume() {
+      BB_ASSERT_MSG(slot_.has_value(), "channel resume without a value");
+      return std::move(*slot_);
+    }
+
+   private:
+    Channel& ch_;
+    std::optional<T> slot_;
+  };
+
+  ReceiveAwaiter receive() { return ReceiveAwaiter(*this); }
+
+  /// Non-blocking receive; returns nullopt when empty.
+  std::optional<T> try_receive() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::optional<T>* slot;
+  };
+
+  Simulator* sim_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace bb::sim

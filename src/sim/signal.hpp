@@ -1,0 +1,45 @@
+#pragma once
+// Broadcast synchronization primitives.
+//
+// `Signal` is a resettable broadcast event: any number of processes can
+// `co_await sig.wait()`; a `fire()` wakes all of them. Used for e.g. "a
+// completion landed in the CQ" notifications where polling loops want to
+// sleep instead of spinning simulated time away.
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace bb::sim {
+
+class Signal {
+ public:
+  explicit Signal(Simulator& sim) : sim_(&sim) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Wakes every waiting process (at the current simulated time).
+  void fire() {
+    for (auto h : waiters_) sim_->schedule_at(sim_->now(), h);
+    waiters_.clear();
+  }
+
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  struct WaitAwaiter {
+    Signal& sig;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sig.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  WaitAwaiter wait() { return WaitAwaiter{*this}; }
+
+ private:
+  Simulator* sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace bb::sim

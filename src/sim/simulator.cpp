@@ -1,0 +1,91 @@
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+
+namespace bb::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+Simulator::~Simulator() {
+  // Destroy any still-suspended root frames. Nothing may be resumed after
+  // this, so dangling waiter entries inside channels are harmless.
+  for (auto& r : roots_) {
+    if (r.handle) r.handle.destroy();
+  }
+}
+
+void Simulator::schedule_at(TimePs t, std::coroutine_handle<> h) {
+  BB_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, h, nullptr});
+}
+
+void Simulator::call_at(TimePs t, std::function<void()> fn) {
+  BB_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulator::spawn(Task<void> task, std::string name) {
+  auto h = task.release();
+  BB_ASSERT_MSG(h, "cannot spawn an empty task");
+  roots_.push_back(RootProcess{h, std::move(name)});
+  schedule_at(now_, h);
+}
+
+void Simulator::dispatch(Event& ev) {
+  now_ = ev.t;
+  ++events_processed_;
+  if (event_limit_ != 0 && events_processed_ > event_limit_) {
+    BB_UNREACHABLE("simulator event limit exceeded (runaway process?)");
+  }
+  if (ev.h) {
+    ev.h.resume();
+    check_roots_for_errors();
+  } else {
+    ev.callback();
+  }
+}
+
+void Simulator::check_roots_for_errors() {
+  // Surface exceptions from completed root processes immediately: a failed
+  // process invalidates the whole timeline.
+  for (auto& r : roots_) {
+    if (r.handle && r.handle.done()) {
+      if (r.handle.promise().exception) {
+        std::fprintf(stderr, "bb::sim: root process '%s' threw\n",
+                     r.name.c_str());
+        std::rethrow_exception(r.handle.promise().exception);
+      }
+    }
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  dispatch(ev);
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(TimePs t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& pred) {
+  while (!pred()) {
+    if (!step()) return false;
+  }
+  return true;
+}
+
+}  // namespace bb::sim

@@ -1,0 +1,107 @@
+#pragma once
+// The discrete-event simulator core.
+//
+// A `Simulator` holds a time-ordered event queue of suspended coroutines
+// (and plain callbacks). Processes are `Task<void>` coroutines spawned as
+// roots; they advance simulated time only by `co_await sim.delay(d)` or by
+// blocking on synchronization primitives (`Channel`, `Signal`). Events with
+// equal timestamps run in FIFO spawn order (a monotonically increasing
+// sequence number breaks ties), which makes runs deterministic.
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace bb::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 42);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  TimePs now() const { return now_; }
+
+  /// Deterministic RNG shared by the run. Components typically `fork()`
+  /// their own child streams at construction.
+  Rng& rng() { return rng_; }
+
+  /// Schedules a raw coroutine resume at absolute time `t` (>= now).
+  void schedule_at(TimePs t, std::coroutine_handle<> h);
+  /// Schedules a plain callback at absolute time `t` (>= now).
+  void call_at(TimePs t, std::function<void()> fn);
+
+  /// Awaitable that suspends the current process for `d`.
+  struct DelayAwaiter {
+    Simulator* sim;
+    TimePs d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->schedule_at(sim->now_ + d, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(TimePs d) { return DelayAwaiter{this, d}; }
+
+  /// Registers and starts a root process. The simulator owns the frame and
+  /// destroys it at teardown; exceptions escaping a root process abort.
+  void spawn(Task<void> task, std::string name = "process");
+
+  /// Runs one event. Returns false if the queue is empty.
+  bool step();
+  /// Runs until the event queue drains.
+  void run();
+  /// Runs while events exist and now() <= t.
+  void run_until(TimePs t);
+  void run_for(TimePs d) { run_until(now_ + d); }
+  /// Runs until `pred()` becomes true (checked after each event) or the
+  /// queue drains. Returns whether the predicate held.
+  bool run_while_pending(const std::function<bool()>& pred);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+  /// Safety valve against runaway process loops; 0 disables.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Event {
+    TimePs t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;       // either a coroutine ...
+    std::function<void()> callback;  // ... or a callback
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct RootProcess {
+    std::coroutine_handle<detail::Promise<void>> handle;
+    std::string name;
+  };
+
+  void dispatch(Event& ev);
+  void check_roots_for_errors();
+
+  TimePs now_ = TimePs::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<RootProcess> roots_;
+  Rng rng_;
+};
+
+}  // namespace bb::sim

@@ -1,0 +1,78 @@
+#include "benchlib/am_lat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "scenario/testbed.hpp"
+
+namespace bb::bench {
+namespace {
+
+TEST(AmLat, AdjustedLatencyWithinFivePercentOfModel) {
+  // The §4.3 validation: the modelled 1135.8 ns within 5% of the
+  // measurement-update-adjusted observed latency.
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  AmLatBenchmark bench(tb, {.iterations = 2000, .warmup = 200});
+  const LatencyResult res = bench.run();
+
+  const auto model =
+      core::LatencyModel(core::ComponentTable::from_config(tb.config()));
+  EXPECT_LE(std::abs(model.llp_latency_ns() - res.adjusted_mean_ns) /
+                res.adjusted_mean_ns,
+            0.05)
+      << "model " << model.llp_latency_ns() << " observed "
+      << res.adjusted_mean_ns;
+}
+
+TEST(AmLat, RawExceedsAdjustedByHalfUpdate) {
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  AmLatBenchmark bench(tb, {.iterations = 500, .warmup = 100});
+  const LatencyResult res = bench.run();
+  EXPECT_NEAR(res.half_rtt_raw.summarize().mean - res.adjusted_mean_ns,
+              49.69 / 2.0, 1e-6);
+}
+
+TEST(AmLat, ObservedAboveModelDueToUnmodeledNicProcessing) {
+  // The analytical model omits NIC processing; the simulated observation
+  // must sit above it (same direction of error a real testbed shows for
+  // un-modelled terms).
+  scenario::Testbed tb(scenario::presets::deterministic());
+  AmLatBenchmark bench(tb, {.iterations = 200, .warmup = 50});
+  const LatencyResult res = bench.run();
+  const auto model =
+      core::LatencyModel(core::ComponentTable::from_config(tb.config()));
+  EXPECT_GT(res.adjusted_mean_ns, model.llp_latency_ns());
+}
+
+TEST(AmLat, SwitchDifferencingRecovers108ns) {
+  // §4.3's switch methodology: latency with one switch minus latency with
+  // a direct connection.
+  auto with_switch = scenario::presets::deterministic();
+  auto direct = scenario::presets::deterministic();
+  direct.net.num_switches = 0;
+
+  scenario::Testbed tb1(with_switch);
+  AmLatBenchmark b1(tb1, {.iterations = 200, .warmup = 20});
+  scenario::Testbed tb2(direct);
+  AmLatBenchmark b2(tb2, {.iterations = 200, .warmup = 20});
+  const double delta =
+      b1.run().adjusted_mean_ns - b2.run().adjusted_mean_ns;
+  EXPECT_NEAR(delta, 108.0, 1.0);
+}
+
+TEST(AmLat, TraceContainsPingsAndCompletions) {
+  scenario::Testbed tb(scenario::presets::deterministic());
+  AmLatBenchmark bench(tb, {.iterations = 20, .warmup = 2});
+  (void)bench.run();
+  const auto& trace = bench.trace();
+  EXPECT_GT(trace.downstream_writes(64).size(), 20u);   // pings
+  EXPECT_GT(trace.upstream_writes(64).size(), 20u);     // send CQEs
+  // Pong payloads: upstream 8 B writes.
+  const auto pongs = trace.filter([](const pcie::TraceRecord& r) {
+    return !r.is_dllp && r.dir == pcie::Direction::kUpstream && r.bytes == 8;
+  });
+  EXPECT_GT(pongs.size(), 20u);
+}
+
+}  // namespace
+}  // namespace bb::bench

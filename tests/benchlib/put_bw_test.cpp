@@ -1,0 +1,81 @@
+#include "benchlib/put_bw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "scenario/testbed.hpp"
+
+namespace bb::bench {
+namespace {
+
+TEST(PutBw, ObservedInjectionWithinFivePercentOfModel) {
+  // The §4.2 validation: Eq. 1's 295.73 ns must sit within 5% of the
+  // analyzer-observed overhead.
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  PutBwBenchmark bench(tb, {.messages = 8000, .warmup = 1000});
+  const InjectionResult res = bench.run();
+
+  const auto model = core::InjectionModel(
+      core::ComponentTable::from_config(tb.config()));
+  const double observed = res.nic_deltas.summarize().mean;
+  EXPECT_LE(std::abs(model.llp_injection_ns() - observed) / observed, 0.05)
+      << "model " << model.llp_injection_ns() << " observed " << observed;
+  // And near the paper's observed 282.33 ns.
+  EXPECT_NEAR(observed, 282.33, 282.33 * 0.03);
+}
+
+TEST(PutBw, SteadyStateHasBusyPosts) {
+  // §4.2: the finite TxQ depth forces busy posts once it fills.
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  PutBwBenchmark bench(tb, {.messages = 4000, .warmup = 500});
+  const InjectionResult res = bench.run();
+  EXPECT_GT(res.busy_posts, res.messages / 2);
+}
+
+TEST(PutBw, DistributionShapeMatchesFig7) {
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  PutBwBenchmark bench(tb, {.messages = 12000, .warmup = 1000});
+  const InjectionResult res = bench.run();
+  const Summary s = res.nic_deltas.summarize();
+  // Fig. 7: positively skewed (median < mean), sd ~ 58, a heavy tail
+  // whose max is far beyond p99.
+  EXPECT_LT(s.median, s.mean);
+  EXPECT_NEAR(s.stddev, 58.49, 35.0);
+  EXPECT_GT(s.max, s.p99 * 1.5);
+  EXPECT_GT(s.min, 150.0);
+}
+
+TEST(PutBw, DeterministicConfigMatchesArithmetic) {
+  // With jitter stripped, the steady-state loop is exactly:
+  // busy + LLP_prog + LLP_post + measurement update (§4.2), with every
+  // 16th iteration draining one extra CQE.
+  auto cfg = scenario::presets::deterministic();
+  scenario::Testbed tb(cfg);
+  PutBwBenchmark bench(tb, {.messages = 4000, .warmup = 1000, .speed_factor = 1.0});
+  const InjectionResult res = bench.run();
+  const double observed = res.nic_deltas.summarize().mean;
+  // Between the no-busy floor (286.74) and the full model (295.73).
+  EXPECT_GT(observed, 280.0);
+  EXPECT_LT(observed, 300.0);
+}
+
+TEST(PutBw, CpuTimeTracksNicDeltas) {
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  PutBwBenchmark bench(tb, {.messages = 6000, .warmup = 600});
+  const InjectionResult res = bench.run();
+  // §4.2: Inj_overhead equals CPU_time when messages flow continuously.
+  EXPECT_NEAR(res.cpu_per_msg_ns, res.nic_deltas.summarize().mean,
+              res.cpu_per_msg_ns * 0.02);
+}
+
+TEST(PutBw, TraceCaptureOptional) {
+  scenario::Testbed tb(scenario::presets::deterministic());
+  PutBwBenchmark bench(tb, {.messages = 500, .warmup = 50,
+                            .speed_factor = 1.0, .capture_trace = false});
+  const InjectionResult res = bench.run();
+  EXPECT_EQ(res.nic_deltas.size(), 0u);
+  EXPECT_GT(res.cpu_per_msg_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace bb::bench

@@ -1,0 +1,110 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bb {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng a(7);
+  Rng child = a.fork();
+  // The child stream must not replay the parent stream.
+  Rng a2(7);
+  (void)a2.next_u64();  // parent consumed one value to fork
+  EXPECT_NE(child.next_u64(), a2.next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng r(9);
+  int counts[7] = {};
+  for (int i = 0; i < 70000; ++i) counts[r.uniform_u64(7)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0, ss = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    ss += v * v;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMatchesRequestedMoments) {
+  Rng r(13);
+  // Fig. 7 shape parameters: mean 282, sd 58.
+  double sum = 0, ss = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.lognormal_by_moments(282.0, 58.0);
+    ASSERT_GT(v, 0.0);
+    sum += v;
+    ss += v * v;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(ss / n - mean * mean);
+  EXPECT_NEAR(mean, 282.0, 1.5);
+  EXPECT_NEAR(sd, 58.0, 1.5);
+}
+
+TEST(Rng, LognormalMedianBelowMean) {
+  // Positively skewed: median < mean, as the paper observes (266 < 282).
+  Rng r(17);
+  std::vector<double> v;
+  for (int i = 0; i < 50001; ++i) v.push_back(r.lognormal_by_moments(282, 58));
+  std::sort(v.begin(), v.end());
+  EXPECT_LT(v[v.size() / 2], 282.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits, 30000, 600);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Component", "Time (ns)"});
+  t.add_row({"LLP_post", "175.42"});
+  t.add_row({"LLP_prog", "61.63"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Component"), std::string::npos);
+  EXPECT_NE(out.find("| LLP_post"), std::string::npos);
+  EXPECT_NE(out.find("175.42"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_rule();  // rules are not emitted in CSV
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, NumAndPctFormatting) {
+  EXPECT_EQ(TextTable::num(282.334, 2), "282.33");
+  EXPECT_EQ(TextTable::pct(0.5379, 2), "53.79%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(StackedBar, PercentagesSumTo100) {
+  // The Fig. 4 composition.
+  const std::string out = render_stacked_bar(
+      "LLP_post breakdown",
+      {{"MD setup", 27.78},
+       {"Barrier MD", 17.33},
+       {"Barrier DBC", 21.07},
+       {"PIO copy", 94.25},
+       {"Other", 14.99}});
+  EXPECT_NE(out.find("LLP_post breakdown"), std::string::npos);
+  EXPECT_NE(out.find("53.7"), std::string::npos);  // PIO ~53.73%
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+  EXPECT_NE(out.find("100.00%"), std::string::npos);
+}
+
+TEST(StackedBar, EmptyDataHandled) {
+  const std::string out = render_stacked_bar("x", {});
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,69 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+using namespace bb::literals;
+
+TEST(TimePs, DefaultIsZero) {
+  TimePs t;
+  EXPECT_EQ(t.ps(), 0);
+  EXPECT_EQ(t, TimePs::zero());
+}
+
+TEST(TimePs, LiteralsProduceExpectedPicoseconds) {
+  EXPECT_EQ((1_ns).ps(), 1000);
+  EXPECT_EQ((1_us).ps(), 1'000'000);
+  EXPECT_EQ((1_ms).ps(), 1'000'000'000);
+  EXPECT_EQ((137_ps).ps(), 137);
+  EXPECT_EQ((1.5_ns).ps(), 1500);
+  EXPECT_EQ((0.25_us).ps(), 250'000);
+}
+
+TEST(TimePs, FromNsRoundsToNearestPicosecond) {
+  EXPECT_EQ(TimePs::from_ns(282.33).ps(), 282'330);
+  EXPECT_EQ(TimePs::from_ns(0.0004).ps(), 0);
+  EXPECT_EQ(TimePs::from_ns(0.0006).ps(), 1);
+  EXPECT_EQ(TimePs::from_ns(-1.5).ps(), -1500);
+}
+
+TEST(TimePs, RoundTripNs) {
+  const TimePs t = TimePs::from_ns(175.42);
+  EXPECT_DOUBLE_EQ(t.to_ns(), 175.42);
+}
+
+TEST(TimePs, Arithmetic) {
+  EXPECT_EQ(3_ns + 4_ns, 7_ns);
+  EXPECT_EQ(10_ns - 4_ns, 6_ns);
+  EXPECT_EQ((3_ns) * 4, 12_ns);
+  EXPECT_EQ((12_ns) / 4, 3_ns);
+  TimePs t = 5_ns;
+  t += 2_ns;
+  t -= 1_ns;
+  EXPECT_EQ(t, 6_ns);
+}
+
+TEST(TimePs, ScaledAppliesRealFactorWithRounding) {
+  EXPECT_EQ((100_ns).scaled(0.5), 50_ns);
+  EXPECT_EQ((100_ns).scaled(0.1), 10_ns);
+  // 94.25 ns * 0.16 = 15.08 ns (the paper's PIO what-if).
+  EXPECT_EQ(TimePs::from_ns(94.25).scaled(0.16), TimePs::from_ns(15.08));
+}
+
+TEST(TimePs, Ordering) {
+  EXPECT_LT(1_ns, 2_ns);
+  EXPECT_GT(1_us, 999_ns);
+  EXPECT_LE(1_ns, 1_ns);
+  EXPECT_LT(TimePs::zero(), TimePs::max());
+}
+
+TEST(TimePs, StrPicksHumanUnits) {
+  EXPECT_EQ((282.33_ns).str(), "282.33 ns");
+  EXPECT_EQ((15_us).str(), "15.00 us");
+  EXPECT_EQ(TimePs::from_ns(2.5e6).str(), "2.500 ms");
+}
+
+}  // namespace
+}  // namespace bb

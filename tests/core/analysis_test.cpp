@@ -1,0 +1,126 @@
+// Unit tests of the trace-analysis methodology on synthetic traces, plus
+// integration against real simulator traces.
+
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchlib/am_lat.hpp"
+#include "benchlib/put_bw.hpp"
+#include "core/component_table.hpp"
+#include "scenario/testbed.hpp"
+
+namespace bb::core {
+namespace {
+
+using pcie::Direction;
+using pcie::Dllp;
+using pcie::DllpType;
+using pcie::Tlp;
+using pcie::TlpType;
+using pcie::Trace;
+using namespace bb::literals;
+
+Tlp mwr(Direction dir, std::uint32_t bytes) {
+  Tlp t;
+  t.type = TlpType::kMemWrite;
+  t.dir = dir;
+  t.bytes = bytes;
+  return t;
+}
+
+TEST(Analysis, ObservedInjectionSkipsWarmup) {
+  Trace tr;
+  for (int i = 0; i < 6; ++i) {
+    tr.record_tlp(TimePs::from_ns(100.0 * i),
+                  mwr(Direction::kDownstream, 64));
+  }
+  const Samples s = observed_injection(tr, 2);
+  EXPECT_EQ(s.size(), 3u);  // 4 posts remain -> 3 deltas
+  EXPECT_NEAR(s.summarize().mean, 100.0, 1e-9);
+}
+
+TEST(Analysis, MeasuredPcieHalvesRoundTrip) {
+  Trace tr;
+  tr.record_tlp(1000_ns, mwr(Direction::kUpstream, 64));
+  Dllp ack;
+  ack.type = DllpType::kAck;
+  tr.record_dllp(TimePs::from_ns(1000.0 + 274.98), Direction::kDownstream, ack);
+  const Samples s = measured_pcie(tr);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s.values_ns()[0], 137.49, 1e-6);
+}
+
+TEST(Analysis, MeasuredNetworkPairsPingWithCompletion) {
+  Trace tr;
+  tr.record_tlp(0_ns, mwr(Direction::kDownstream, 64));        // ping at NIC
+  tr.record_tlp(800_ns, mwr(Direction::kUpstream, 64));        // its CQE
+  tr.record_tlp(2000_ns, mwr(Direction::kDownstream, 64));
+  tr.record_tlp(2800_ns, mwr(Direction::kUpstream, 64));
+  const Samples s = measured_network(tr);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s.summarize().mean, 400.0, 1e-9);
+}
+
+TEST(Analysis, MeasuredRcToMemBackSolves) {
+  Trace tr;
+  // Inbound pong payload (8 B up), then the next ping (64 B down) 762 ns
+  // later; with PCIe 137.49, LLP_post 175.42, LLP_prog 61.63 the back-
+  // solve yields 762 - 274.98 - 237.05 = 249.97.
+  tr.record_tlp(0_ns, mwr(Direction::kUpstream, 8));
+  tr.record_tlp(762_ns, mwr(Direction::kDownstream, 64));
+  const Samples s = measured_rc_to_mem(tr, 137.49, 175.42, 61.63);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s.values_ns()[0], 249.97, 1e-6);
+}
+
+TEST(Analysis, MeasuredSwitchIsDifference) {
+  EXPECT_NEAR(measured_switch(1190.25, 1082.25), 108.0, 1e-9);
+}
+
+// --- Integration: methodology applied to real simulator traces ----------
+
+TEST(AnalysisIntegration, PcieFromAmLatTraceMatchesCalibration) {
+  scenario::Testbed tb(scenario::presets::deterministic());
+  bench::AmLatBenchmark am(tb, {.iterations = 50, .warmup = 5, .bytes = 8,
+                                .speed_factor = 1.0, .capture_trace = true});
+  (void)am.run();
+  const Samples pcie_s = measured_pcie(am.trace());
+  ASSERT_GT(pcie_s.size(), 10u);
+  // The trace-based measurement carries ~1-2 ns of contamination (Ack
+  // DLLPs queue behind larger TLPs sharing the downstream link), the same
+  // class of systematic error a real analyzer measurement has.
+  EXPECT_NEAR(pcie_s.summarize().mean, tb.config().link.measured_pcie_ns(),
+              3.0);
+}
+
+TEST(AnalysisIntegration, NetworkFromAmLatTraceNearConfig) {
+  scenario::Testbed tb(scenario::presets::deterministic());
+  bench::AmLatBenchmark am(tb, {.iterations = 50, .warmup = 5, .bytes = 8,
+                                .speed_factor = 1.0, .capture_trace = true});
+  (void)am.run();
+  const Samples net = measured_network(am.trace());
+  ASSERT_GT(net.size(), 10u);
+  // The methodology contains NIC processing it cannot see; the measured
+  // value sits slightly above the configured network latency.
+  const double configured = tb.config().net.network_latency().to_ns();
+  EXPECT_GT(net.summarize().mean, configured);
+  EXPECT_LT(net.summarize().mean, configured + 40.0);
+}
+
+TEST(AnalysisIntegration, RcToMemFromAmLatTraceNearConfig) {
+  scenario::Testbed tb(scenario::presets::deterministic());
+  bench::AmLatBenchmark am(tb, {.iterations = 50, .warmup = 5, .bytes = 8,
+                                .speed_factor = 1.0, .capture_trace = true});
+  (void)am.run();
+  const ComponentTable t = ComponentTable::from_config(tb.config());
+  const Samples rc = measured_rc_to_mem(am.trace(), t.pcie, t.llp_post(),
+                                        t.llp_prog);
+  ASSERT_GT(rc.size(), 10u);
+  // Back-solve includes poll-discovery slack; allow a modest band above
+  // the configured 240.96 ns.
+  EXPECT_NEAR(rc.summarize().mean, 240.96, 60.0);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,80 @@
+// Rendering-layer tests for the figure reproductions: the bars the bench
+// binaries print must carry the right labels and percentages.
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+#include "core/models.hpp"
+
+namespace bb::core {
+namespace {
+
+TEST(BreakdownRender, Fig4BarShowsPaperPercentages) {
+  const auto t = ComponentTable::paper();
+  const std::string out = render_stacked_bar(
+      "LLP_post", {{"MD setup", t.md_setup},
+                   {"Barrier for MD", t.barrier_md},
+                   {"Barrier for DBC", t.barrier_dbc},
+                   {"PIO copy", t.pio_copy},
+                   {"Other", t.llp_post_misc}});
+  EXPECT_NE(out.find("15.84%"), std::string::npos);
+  EXPECT_NE(out.find("9.88%"), std::string::npos);
+  EXPECT_NE(out.find("12.01%"), std::string::npos);
+  EXPECT_NE(out.find("53.73%"), std::string::npos);  // 94.25/175.42
+  EXPECT_NE(out.find("8.55%"), std::string::npos);   // 14.99/175.42
+}
+
+TEST(BreakdownRender, Fig13BarTotals1387) {
+  const LatencyModel m(ComponentTable::paper());
+  const std::string out =
+      render_stacked_bar("e2e", m.fig13_breakdown());
+  EXPECT_NE(out.find("1387.02"), std::string::npos);
+  EXPECT_NE(out.find("HLP_rx_prog"), std::string::npos);
+}
+
+TEST(BreakdownRender, Fig15NestedBarsConsistent) {
+  const LatencyModel m(ComponentTable::paper());
+  const auto cats = m.fig15_categories();
+  // The category totals must sum to the e2e latency.
+  double sum = 0;
+  for (const auto& s : cats.top) sum += s.value;
+  EXPECT_NEAR(sum, m.e2e_latency_ns(), 1e-9);
+  // Each sub-split must sum to its category.
+  double cpu = 0;
+  for (const auto& s : cats.cpu) cpu += s.value;
+  EXPECT_NEAR(cpu, cats.top[0].value, 1e-9);
+  double io = 0;
+  for (const auto& s : cats.io) io += s.value;
+  EXPECT_NEAR(io, cats.top[1].value, 1e-9);
+  double net = 0;
+  for (const auto& s : cats.network) net += s.value;
+  EXPECT_NEAR(net, cats.top[2].value, 1e-9);
+}
+
+TEST(BreakdownRender, Fig16NestedBarsConsistent) {
+  const LatencyModel m(ComponentTable::paper());
+  const auto on = m.fig16_on_node();
+  double init = 0, tgt = 0;
+  for (const auto& s : on.initiator) init += s.value;
+  for (const auto& s : on.target) tgt += s.value;
+  EXPECT_NEAR(init, on.split[0].value, 1e-9);
+  EXPECT_NEAR(tgt, on.split[1].value, 1e-9);
+  // On-node total = e2e latency minus the network share.
+  const auto cats = m.fig15_categories();
+  EXPECT_NEAR(init + tgt, cats.top[0].value + cats.top[1].value, 1e-9);
+}
+
+TEST(BreakdownRender, Fig10OmitsLlpProgLikeThePaper) {
+  // The paper's Fig. 10 normalizes over six segments without LLP_prog
+  // (its stated 16.33% share of LLP_post reconstructs a 1074.17 ns base).
+  const LatencyModel m(ComponentTable::paper());
+  double total = 0;
+  for (const auto& s : m.fig10_breakdown()) {
+    EXPECT_NE(s.label, "LLP_prog");
+    total += s.value;
+  }
+  EXPECT_NEAR(total, 1074.17, 0.01);
+}
+
+}  // namespace
+}  // namespace bb::core

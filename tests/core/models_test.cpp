@@ -1,0 +1,162 @@
+// Verifies the analytical models against every number the paper states.
+
+#include "core/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::core {
+namespace {
+
+double pct(const std::vector<BarSegment>& segs, const std::string& label) {
+  double total = 0;
+  double v = -1;
+  for (const auto& s : segs) {
+    total += s.value;
+    if (s.label == label) v = s.value;
+  }
+  EXPECT_GE(v, 0) << "missing segment " << label;
+  return v / total * 100.0;
+}
+
+class PaperModels : public ::testing::Test {
+ protected:
+  InjectionModel inj{ComponentTable::paper()};
+  LatencyModel lat{ComponentTable::paper()};
+};
+
+TEST_F(PaperModels, Eq1LlpInjectionIs295_73) {
+  EXPECT_NEAR(inj.llp_injection_ns(), 295.73, 0.01);
+}
+
+TEST_F(PaperModels, Eq1WithinFivePercentOfObserved282_33) {
+  // §4.2's validation claim.
+  EXPECT_LE(std::abs(inj.llp_injection_ns() - 282.33) / 282.33, 0.05);
+}
+
+TEST_F(PaperModels, GenCompletionAndPollPeriod) {
+  // gen_completion = 2 x (137.49 + 382.81) + RC-to-MEM(64B).
+  EXPECT_NEAR(inj.gen_completion_ns(), 2 * (137.49 + 382.81) + 260.56, 0.01);
+  // p >= gen_completion / LLP_post ~ 7.4: poll at least every ~8 posts.
+  EXPECT_NEAR(inj.min_poll_period(), 7.42, 0.05);
+}
+
+TEST_F(PaperModels, Eq2OverallInjectionIs264_97) {
+  EXPECT_NEAR(inj.post_ns(), 201.98, 0.01);        // §6
+  EXPECT_NEAR(inj.post_prog_ns(), 59.82, 0.01);    // §6
+  EXPECT_NEAR(inj.overall_injection_ns(), 264.97, 0.01);
+  // Within 1% of the observed 263.91 (§6).
+  EXPECT_LE(std::abs(inj.overall_injection_ns() - 263.91) / 263.91, 0.01);
+}
+
+TEST_F(PaperModels, Fig8Percentages) {
+  const auto segs = inj.fig8_breakdown();
+  EXPECT_NEAR(pct(segs, "LLP_post"), 61.18, 0.05);
+  EXPECT_NEAR(pct(segs, "LLP_prog"), 21.49, 0.05);
+  EXPECT_NEAR(pct(segs, "Misc"), 17.33, 0.05);
+}
+
+TEST_F(PaperModels, Fig12Percentages) {
+  const auto segs = inj.fig12_breakdown();
+  EXPECT_NEAR(pct(segs, "Post"), 76.23, 0.05);
+  EXPECT_NEAR(pct(segs, "Post_prog"), 22.58, 0.05);
+  EXPECT_NEAR(pct(segs, "Misc"), 1.20, 0.05);
+}
+
+TEST_F(PaperModels, LlpLatencyIs1135_8) {
+  EXPECT_NEAR(lat.llp_latency_ns(), 1135.8, 0.05);
+  // §4.3: within 5% of the adjusted observed 1190.25.
+  EXPECT_LE(std::abs(lat.llp_latency_ns() - 1190.25) / 1190.25, 0.05);
+}
+
+TEST_F(PaperModels, E2eLatencyIs1387_02) {
+  EXPECT_NEAR(lat.e2e_latency_ns(), 1387.02, 0.01);
+  // §6: within 4% of the observed 1336.
+  EXPECT_LE(std::abs(lat.e2e_latency_ns() - 1336.0) / 1336.0, 0.04);
+}
+
+TEST_F(PaperModels, Fig10Percentages) {
+  const auto segs = lat.fig10_breakdown();
+  EXPECT_NEAR(pct(segs, "LLP_post"), 16.33, 0.05);
+  EXPECT_NEAR(pct(segs, "TX PCIe"), 12.80, 0.05);
+  EXPECT_NEAR(pct(segs, "Wire"), 25.58, 0.05);
+  EXPECT_NEAR(pct(segs, "Switch"), 10.05, 0.05);
+  EXPECT_NEAR(pct(segs, "RX PCIe"), 12.80, 0.05);
+  EXPECT_NEAR(pct(segs, "RC-to-MEM(8B)"), 22.43, 0.05);
+}
+
+TEST_F(PaperModels, Fig13Percentages) {
+  const auto segs = lat.fig13_breakdown();
+  EXPECT_NEAR(pct(segs, "HLP_post"), 1.91, 0.05);
+  EXPECT_NEAR(pct(segs, "LLP_post"), 12.65, 0.05);
+  EXPECT_NEAR(pct(segs, "TX PCIe"), 9.91, 0.05);
+  EXPECT_NEAR(pct(segs, "Wire"), 19.81, 0.05);
+  EXPECT_NEAR(pct(segs, "Switch"), 7.79, 0.05);
+  EXPECT_NEAR(pct(segs, "RX PCIe"), 9.91, 0.05);
+  EXPECT_NEAR(pct(segs, "RC-to-MEM(8B)"), 17.37, 0.05);
+  EXPECT_NEAR(pct(segs, "LLP_prog"), 4.44, 0.05);
+  EXPECT_NEAR(pct(segs, "HLP_rx_prog"), 16.20, 0.05);
+}
+
+TEST_F(PaperModels, Fig11HlpSplits) {
+  const auto split = lat.fig11_split();
+  EXPECT_NEAR(pct(split.isend, "UCP"), 8.24, 0.05);
+  EXPECT_NEAR(pct(split.isend, "MPICH"), 91.76, 0.05);
+  EXPECT_NEAR(pct(split.rx_wait, "UCP"), 33.91, 0.05);
+  EXPECT_NEAR(pct(split.rx_wait, "MPICH"), 66.09, 0.05);
+}
+
+TEST_F(PaperModels, Fig14LayerSplits) {
+  const auto split = lat.fig14_split();
+  EXPECT_NEAR(pct(split.initiation, "LLP"), 86.85, 0.05);
+  EXPECT_NEAR(pct(split.initiation, "HLP"), 13.15, 0.05);
+  EXPECT_NEAR(pct(split.tx_progress, "LLP"), 1.61, 0.05);
+  EXPECT_NEAR(pct(split.tx_progress, "HLP"), 98.39, 0.05);
+  EXPECT_NEAR(pct(split.rx_progress, "LLP"), 21.53, 0.05);
+  EXPECT_NEAR(pct(split.rx_progress, "HLP"), 78.47, 0.05);
+  // §6 Insight 4: RX progress is 4.78x TX progress.
+  const double tx = split.tx_progress[0].value + split.tx_progress[1].value;
+  const double rx = split.rx_progress[0].value + split.rx_progress[1].value;
+  EXPECT_NEAR(rx / tx, 4.78, 0.02);
+}
+
+TEST_F(PaperModels, Fig15Categories) {
+  const auto c = lat.fig15_categories();
+  EXPECT_NEAR(pct(c.top, "CPU"), 35.20, 0.05);
+  EXPECT_NEAR(pct(c.top, "I/O"), 37.20, 0.05);
+  EXPECT_NEAR(pct(c.top, "Network"), 27.60, 0.05);
+  EXPECT_NEAR(pct(c.cpu, "LLP"), 48.55, 0.05);
+  EXPECT_NEAR(pct(c.cpu, "HLP"), 51.45, 0.05);
+  EXPECT_NEAR(pct(c.io, "PCIe"), 53.30, 0.05);
+  EXPECT_NEAR(pct(c.io, "RC-to-MEM"), 46.70, 0.05);
+  EXPECT_NEAR(pct(c.network, "Wire"), 71.79, 0.05);
+  EXPECT_NEAR(pct(c.network, "Switch"), 28.21, 0.05);
+}
+
+TEST_F(PaperModels, Fig15Insight2OnNodeDominates) {
+  // §6 Insight 2: CPU + I/O = 72.4% of the latency.
+  const auto c = lat.fig15_categories();
+  EXPECT_NEAR(pct(c.top, "CPU") + pct(c.top, "I/O"), 72.40, 0.05);
+}
+
+TEST_F(PaperModels, Fig16OnNode) {
+  const auto o = lat.fig16_on_node();
+  EXPECT_NEAR(pct(o.split, "Initiator"), 33.80, 0.05);
+  EXPECT_NEAR(pct(o.split, "Target"), 66.20, 0.05);
+  EXPECT_NEAR(pct(o.initiator, "CPU"), 59.50, 0.05);
+  EXPECT_NEAR(pct(o.initiator, "I/O"), 40.50, 0.05);
+  EXPECT_NEAR(pct(o.target, "CPU"), 43.07, 0.05);
+  EXPECT_NEAR(pct(o.target, "I/O"), 56.93, 0.05);
+  EXPECT_NEAR(pct(o.target_io, "RC-to-MEM"), 63.67, 0.05);
+  EXPECT_NEAR(pct(o.target_io, "PCIe"), 36.33, 0.05);
+}
+
+TEST(Models, BreakdownsRespondToTableChanges) {
+  // Property: halving the wire halves its share of the latency breakdown.
+  ComponentTable t = ComponentTable::paper();
+  t.wire /= 2.0;
+  LatencyModel lat(t);
+  EXPECT_NEAR(lat.llp_latency_ns(), 1135.8 - 274.81 / 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace bb::core

@@ -1,0 +1,116 @@
+// Verifies the §7 what-if engine against the paper's spot checks.
+
+#include "core/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::core {
+namespace {
+
+class PaperWhatIf : public ::testing::Test {
+ protected:
+  WhatIf w{ComponentTable::paper()};
+};
+
+TEST_F(PaperWhatIf, SpeedupFormulaIsLinear) {
+  EXPECT_DOUBLE_EQ(WhatIf::speedup(100.0, 0.5, 1000.0), 0.05);
+  EXPECT_DOUBLE_EQ(WhatIf::speedup(100.0, 1.0, 1000.0), 0.10);
+  EXPECT_DOUBLE_EQ(WhatIf::speedup(0.0, 0.9, 1000.0), 0.0);
+}
+
+TEST_F(PaperWhatIf, PioProjection) {
+  // §7.1: PIO at 15 ns (84% reduction) => injection improves by more than
+  // 25% and latency by more than 5%.
+  EXPECT_GT(w.pio_injection_speedup(15.0), 0.25);
+  EXPECT_NEAR(w.pio_injection_speedup(15.0), 0.299, 0.003);
+  EXPECT_GT(w.pio_latency_speedup(15.0), 0.05);
+  EXPECT_NEAR(w.pio_latency_speedup(15.0), 0.057, 0.002);
+}
+
+TEST_F(PaperWhatIf, SoftwareTwentyPercentBounds) {
+  // §7.1: a 20% HLP reduction speeds injection by up to 6.44%; a 20% LLP
+  // reduction by up to 13.33%.
+  EXPECT_NEAR(w.hlp_injection_speedup(0.2) * 100.0, 6.44, 0.05);
+  EXPECT_NEAR(w.llp_injection_speedup(0.2) * 100.0, 13.33, 0.05);
+}
+
+TEST_F(PaperWhatIf, IntegratedNicFiftyPercent) {
+  // §7.1: "over a 15% improvement in overall latency even with a modest
+  // 50% reduction in I/O time".
+  EXPECT_GT(w.integrated_nic_latency_speedup(0.5), 0.15);
+  EXPECT_NEAR(w.integrated_nic_latency_speedup(0.5), 0.186, 0.003);
+}
+
+TEST_F(PaperWhatIf, GenZSwitchThirtyNs) {
+  // §7.2: reduction to 30 ns (72%) => ~5.5% latency speedup.
+  EXPECT_NEAR(w.switch_latency_speedup(30.0) * 100.0, 5.62, 0.25);
+  EXPECT_GT(w.switch_latency_speedup(30.0), 0.05);
+}
+
+TEST_F(PaperWhatIf, PanelsCoverPaperCurves) {
+  const auto a = w.injection_cpu();
+  ASSERT_EQ(a.curves.size(), 7u);  // HLP, LLP, LLP_post, PIO, ...
+  const auto b = w.latency_cpu();
+  ASSERT_EQ(b.curves.size(), 7u);
+  const auto c = w.latency_io();
+  ASSERT_EQ(c.curves.size(), 3u);
+  const auto d = w.latency_network();
+  ASSERT_EQ(d.curves.size(), 2u);
+}
+
+TEST_F(PaperWhatIf, Fig17aOrderingLlpAboveHlp) {
+  // In Fig. 17a the LLP curve dominates the HLP curve everywhere.
+  const auto p = w.injection_cpu();
+  const auto& hlp = p.curves[0];
+  const auto& llp = p.curves[1];
+  ASSERT_EQ(hlp.component, "HLP");
+  ASSERT_EQ(llp.component, "LLP");
+  for (std::size_t i = 0; i < hlp.speedups.size(); ++i) {
+    EXPECT_GT(llp.speedups[i], hlp.speedups[i]);
+  }
+}
+
+TEST_F(PaperWhatIf, Fig17cIntegratedNicPeaksNear33Percent) {
+  // 90% I/O reduction: 0.9 * 515.94 / 1387.02 ~ 33.5% (the figure's top).
+  const auto p = w.latency_io();
+  const auto& integrated = p.curves[0];
+  EXPECT_NEAR(integrated.speedups.back() * 100.0, 33.5, 0.5);
+}
+
+TEST_F(PaperWhatIf, Fig17dWirePeaksNear18Percent) {
+  // 90% wire reduction: 0.9 * 274.81 / 1387.02 ~ 17.8%.
+  const auto p = w.latency_network();
+  EXPECT_NEAR(p.curves[0].speedups.back() * 100.0, 17.8, 0.3);
+}
+
+TEST_F(PaperWhatIf, CurvesAreLinearInReduction) {
+  const auto p = w.latency_cpu();
+  for (const auto& c : p.curves) {
+    for (std::size_t i = 0; i < c.speedups.size(); ++i) {
+      EXPECT_NEAR(c.speedups[i],
+                  c.reductions[i] * c.component_ns / p.base_total_ns, 1e-12);
+    }
+  }
+}
+
+TEST_F(PaperWhatIf, RenderAndCsv) {
+  const auto p = w.latency_network();
+  const std::string txt = p.render();
+  EXPECT_NE(txt.find("Wire"), std::string::npos);
+  EXPECT_NE(txt.find("Switch"), std::string::npos);
+  const std::string csv = p.to_csv();
+  EXPECT_NE(csv.find("component,component_ns"), std::string::npos);
+}
+
+TEST(WhatIfProperty, SpeedupsSumAcrossDisjointComponents) {
+  // Reducing two disjoint components is additive in this model.
+  const ComponentTable t = ComponentTable::paper();
+  WhatIf w(t);
+  const double base = LatencyModel(t).e2e_latency_ns();
+  const double both =
+      WhatIf::speedup(t.wire, 0.5, base) + WhatIf::speedup(t.switch_lat, 0.5, base);
+  EXPECT_NEAR(both, WhatIf::speedup(t.network(), 0.5, base), 1e-12);
+}
+
+}  // namespace
+}  // namespace bb::core

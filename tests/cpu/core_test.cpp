@@ -1,0 +1,94 @@
+#include "cpu/core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::cpu {
+namespace {
+
+using namespace bb::literals;
+
+CpuCostModel deterministic_model() {
+  CpuCostModel m;
+  m.strip_jitter();
+  return m;
+}
+
+TEST(Core, ConsumeAccruesPendingNotSimTime) {
+  sim::Simulator sim;
+  Core core(sim, deterministic_model());
+  core.consume(100_ns);
+  EXPECT_EQ(sim.now(), TimePs::zero());
+  EXPECT_EQ(core.virtual_now(), 100_ns);
+}
+
+TEST(Core, FlushMaterializesPendingTime) {
+  sim::Simulator sim;
+  Core core(sim, deterministic_model());
+  double after = -1;
+  sim.spawn([](sim::Simulator& s, Core& c, double& out) -> sim::Task<void> {
+    c.consume(175.42_ns);
+    co_await c.flush();
+    out = s.now().to_ns();
+  }(sim, core, after));
+  sim.run();
+  EXPECT_NEAR(after, 175.42, 1e-9);
+}
+
+TEST(Core, VirtualNowStableAcrossFlush) {
+  sim::Simulator sim;
+  Core core(sim, deterministic_model());
+  std::vector<double> vals;
+  sim.spawn([](Core& c, std::vector<double>& out) -> sim::Task<void> {
+    c.consume(50_ns);
+    out.push_back(c.virtual_now().to_ns());
+    co_await c.flush();
+    out.push_back(c.virtual_now().to_ns());
+  }(core, vals));
+  sim.run();
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_DOUBLE_EQ(vals[0], vals[1]);
+}
+
+TEST(Core, ConsumeSpecSamplesModel) {
+  sim::Simulator sim;
+  Core core(sim, deterministic_model());
+  const TimePs d = core.consume(core.costs().pio_copy_64b);
+  EXPECT_NEAR(d.to_ns(), 94.25, 1e-9);
+  EXPECT_NEAR(core.virtual_now().to_ns(), 94.25, 1e-9);
+}
+
+TEST(Core, SpeedFactorScalesSampledCosts) {
+  sim::Simulator sim;
+  Core core(sim, deterministic_model());
+  core.set_speed_factor(0.5);
+  const TimePs d = core.consume(core.costs().pio_copy_64b);
+  EXPECT_NEAR(d.to_ns(), 47.125, 1e-3);
+  // Fixed durations are not scaled (they are already exact).
+  core.set_speed_factor(1.0);
+  core.consume(10_ns);
+  EXPECT_NEAR(core.virtual_now().to_ns(), 57.125, 1e-3);
+}
+
+TEST(Core, BusyTimeAccumulates) {
+  sim::Simulator sim;
+  Core core(sim, deterministic_model());
+  core.consume(30_ns);
+  core.consume(20_ns);
+  EXPECT_EQ(core.busy_time(), 50_ns);
+}
+
+TEST(Core, EmptyFlushIsNoop) {
+  sim::Simulator sim;
+  Core core(sim, deterministic_model());
+  bool done = false;
+  sim.spawn([](Core& c, bool& d) -> sim::Task<void> {
+    co_await c.flush();
+    d = true;
+  }(core, done));
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), TimePs::zero());
+}
+
+}  // namespace
+}  // namespace bb::cpu

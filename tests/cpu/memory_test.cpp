@@ -1,0 +1,32 @@
+#include "cpu/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::cpu {
+namespace {
+
+TEST(Memory, NamesAreHuman) {
+  EXPECT_EQ(to_string(MemoryType::kNormal), "Normal");
+  EXPECT_EQ(to_string(MemoryType::kDeviceGRE), "Device-GRE");
+  EXPECT_EQ(to_string(MemoryType::kDeviceNGnRE), "Device-nGnRE");
+}
+
+TEST(Memory, DeviceWritesFarSlowerThanNormal) {
+  // §7: "the current difference between 64-byte writes to Normal and
+  // Device memory is more than 90%".
+  CpuCostModel m;
+  const double normal = write_cost_64b(m, MemoryType::kNormal).mean_ns;
+  const double device = write_cost_64b(m, MemoryType::kDeviceGRE).mean_ns;
+  EXPECT_LT(normal, 1.0);  // "less than a nanosecond"
+  EXPECT_GT((device - normal) / device, 0.90);
+}
+
+TEST(Memory, NGnREPaysGatheringPenalty) {
+  CpuCostModel m;
+  const double gre = write_cost_64b(m, MemoryType::kDeviceGRE).mean_ns;
+  const double ngnre = write_cost_64b(m, MemoryType::kDeviceNGnRE).mean_ns;
+  EXPECT_NEAR(ngnre, gre * kNGnREPenalty, 1e-9);
+}
+
+}  // namespace
+}  // namespace bb::cpu

@@ -1,0 +1,101 @@
+// Profiler wrap points across the HLP stack: the §5 measurement
+// methodology's instrumentation hooks, exercised one at a time.
+
+#include <gtest/gtest.h>
+
+#include "scenario/mpi_stack.hpp"
+#include "scenario/testbed.hpp"
+
+namespace bb::hlp {
+namespace {
+
+using scenario::MpiStack;
+using scenario::Testbed;
+using namespace bb::literals;
+
+/// One successful-wait cycle: sender fires, receiver idles past arrival,
+/// then waits. Returns the profiler mean for `region` on node 1.
+double measure_rx_region(const std::string& mpi_wrap,
+                         const std::string& ucp_wrap,
+                         const std::string& uct_wrap,
+                         const std::string& region) {
+  Testbed tb(scenario::presets::deterministic());
+  MpiStack tx(tb, 0);
+  MpiStack rx(tb, 1);
+  tb.node(1).nic.post_receives(8);
+  if (!mpi_wrap.empty()) rx.mpi().set_wrap(mpi_wrap);
+  if (!ucp_wrap.empty()) rx.ucp().set_wrap(ucp_wrap);
+  if (!uct_wrap.empty()) tb.node(1).worker.set_wrap(uct_wrap);
+
+  tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      (void)co_await st.mpi().isend(8);
+      co_await st.ucp().progress();
+      co_await st.node().core.flush();
+      co_await st.node().core.simulator().delay(10_us);
+    }
+  }(tx));
+  tb.sim().spawn([](Testbed& t, MpiStack& st) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      Request* r = st.mpi().irecv(8);
+      co_await st.node().core.flush();
+      const TimePs target = TimePs::from_ns(10e3) * i + 5_us;
+      if (target > t.sim().now()) co_await t.sim().delay(target - t.sim().now());
+      co_await st.mpi().wait(r);
+    }
+  }(tb, rx));
+  tb.sim().run();
+  return tb.node(1).profiler.mean_ns(region);
+}
+
+TEST(HlpWraps, MpiWaitTotalIs505_43) {
+  // 208.41 + 10.73 + 61.63 + 139.78 + 47.99 + 36.89.
+  EXPECT_NEAR(measure_rx_region("MPI_Wait", "", "", "MPI_Wait"), 505.43,
+              1e-6);
+}
+
+TEST(HlpWraps, UcpProgressIncludesNestedUctPass) {
+  // ucp_progress_iter 10.73 + the full UCT pass (LLP_prog 61.63 and both
+  // registered callbacks 139.78 + 47.99, which §5 notes execute before
+  // uct_worker_progress returns) = 260.13.
+  EXPECT_NEAR(measure_rx_region("", "ucp_worker_progress", "",
+                                "ucp_worker_progress"),
+              260.13, 1e-6);
+}
+
+TEST(HlpWraps, UctProgressIncludesCallbackChain) {
+  const double uct = measure_rx_region("", "", "uct_worker_progress",
+                                       "uct_worker_progress");
+  // LLP_prog + UCP callback + MPICH callback execute inside the pass.
+  EXPECT_NEAR(uct, 61.63 + 139.78 + 47.99, 1e-6);
+}
+
+TEST(HlpWraps, SubtractionRecoversPaperLayerTimes) {
+  const double wait = measure_rx_region("MPI_Wait", "", "", "MPI_Wait");
+  const double ucp = measure_rx_region("", "ucp_worker_progress", "",
+                                       "ucp_worker_progress");
+  const double uct = measure_rx_region("", "", "uct_worker_progress",
+                                       "uct_worker_progress");
+  const double mpich_cb =
+      measure_rx_region("MPICH callback", "", "", "MPICH callback");
+  const double ucp_cb = measure_rx_region("", "UCP callback", "", "UCP callback");
+
+  // §5's arithmetic: MPICH share = wait - ucp + MPICH callback = 293.29;
+  // UCP share = ucp - uct + UCP-alone callback... the published 150.51
+  // counts the UCP callback excluding the nested MPICH callback.
+  EXPECT_NEAR(wait - ucp + mpich_cb, 293.29, 1e-6);
+  EXPECT_NEAR(ucp - uct + ucp_cb, 150.51, 1e-6);
+}
+
+TEST(HlpWraps, CallbackRegionsMatchTable1) {
+  EXPECT_NEAR(measure_rx_region("MPICH callback", "", "", "MPICH callback"),
+              47.99, 1e-6);
+  EXPECT_NEAR(measure_rx_region("", "UCP callback", "", "UCP callback"),
+              139.78, 1e-6);
+  EXPECT_NEAR(measure_rx_region("MPICH after progress", "", "",
+                                "MPICH after progress"),
+              36.89, 1e-6);
+}
+
+}  // namespace
+}  // namespace bb::hlp

@@ -1,0 +1,98 @@
+#include "pcie/credit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::pcie {
+namespace {
+
+Tlp mwr(std::uint32_t bytes) {
+  Tlp t;
+  t.type = TlpType::kMemWrite;
+  t.bytes = bytes;
+  return t;
+}
+
+Tlp mrd() {
+  Tlp t;
+  t.type = TlpType::kMemRead;
+  t.bytes = 0;
+  return t;
+}
+
+TEST(Credit, ClassOfMapsTlpTypes) {
+  EXPECT_EQ(CreditState::class_of(mwr(64)), CreditClass::kPosted);
+  EXPECT_EQ(CreditState::class_of(mrd()), CreditClass::kNonPosted);
+  Tlp cpl;
+  cpl.type = TlpType::kCompletionData;
+  EXPECT_EQ(CreditState::class_of(cpl), CreditClass::kCompletion);
+}
+
+TEST(Credit, DataCreditUnitsRoundUp) {
+  EXPECT_EQ(data_credit_units(mwr(64)), 4u);
+  EXPECT_EQ(data_credit_units(mwr(8)), 1u);
+  EXPECT_EQ(data_credit_units(mwr(65)), 5u);
+  EXPECT_EQ(data_credit_units(mrd()), 0u);  // MRd carries no data
+}
+
+TEST(Credit, ConsumeDecrementsAvailability) {
+  auto s = CreditState::with_budget({4, 16}, {2, 2}, {4, 16});
+  EXPECT_TRUE(s.can_send(mwr(64)));
+  s.consume(mwr(64));
+  const auto avail = s.available(CreditClass::kPosted);
+  EXPECT_EQ(avail.header, 3u);
+  EXPECT_EQ(avail.data, 12u);
+}
+
+TEST(Credit, ExhaustionBlocksSending) {
+  auto s = CreditState::with_budget({2, 8}, {1, 1}, {1, 4});
+  s.consume(mwr(64));
+  s.consume(mwr(64));
+  EXPECT_FALSE(s.can_send(mwr(64)));  // headers gone
+}
+
+TEST(Credit, DataCreditsCanBeTheBinder) {
+  auto s = CreditState::with_budget({8, 4}, {1, 1}, {1, 4});
+  s.consume(mwr(64));  // 4 data units consumed
+  EXPECT_FALSE(s.can_send(mwr(16)));  // headers remain, data exhausted
+}
+
+TEST(Credit, ReplenishRestoresAndRespectsBudget) {
+  auto s = CreditState::with_budget({2, 8}, {1, 1}, {1, 4});
+  const Tlp t = mwr(64);
+  s.consume(t);
+  EXPECT_EQ(s.outstanding_headers(CreditClass::kPosted), 1);
+  s.replenish(CreditState::release_for(t));
+  EXPECT_EQ(s.outstanding_headers(CreditClass::kPosted), 0);
+  EXPECT_TRUE(s.can_send(t));
+}
+
+TEST(Credit, ReleaseForMatchesConsumption) {
+  const Tlp t = mwr(40);
+  const Dllp d = CreditState::release_for(t);
+  EXPECT_EQ(d.type, DllpType::kUpdateFC);
+  EXPECT_EQ(d.credit_class, CreditClass::kPosted);
+  EXPECT_EQ(d.header_credits, 1u);
+  EXPECT_EQ(d.data_credits, data_credit_units(t));
+}
+
+TEST(Credit, DefaultEndpointNeverExhaustedBySingleCoreBurst) {
+  // §4.2: "a single core does not exhaust the credits for MWr
+  // transactions" -- with UpdateFCs flowing, 64 posted headers cover the
+  // handful of in-flight 64 B writes a single core can sustain.
+  auto s = CreditState::default_endpoint();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(s.can_send(mwr(64)));
+    s.consume(mwr(64));
+  }
+  EXPECT_TRUE(s.can_send(mwr(64)));
+}
+
+TEST(Credit, IndependentClasses) {
+  auto s = CreditState::with_budget({1, 4}, {1, 1}, {1, 4});
+  s.consume(mwr(64));
+  EXPECT_FALSE(s.can_send(mwr(8)));
+  EXPECT_TRUE(s.can_send(mrd()));  // non-posted pool untouched
+}
+
+}  // namespace
+}  // namespace bb::pcie

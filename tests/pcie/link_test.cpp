@@ -1,0 +1,159 @@
+#include "pcie/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bb::pcie {
+namespace {
+
+using namespace bb::literals;
+
+Tlp pio_post(std::uint64_t msg_id) {
+  Tlp t;
+  t.type = TlpType::kMemWrite;
+  t.bytes = 64;
+  DescriptorWrite dw;
+  dw.md.msg_id = msg_id;
+  dw.md.payload_bytes = 8;
+  t.content = dw;
+  return t;
+}
+
+TEST(LinkParams, LatencyIsAffineInBytes) {
+  LinkParams p;
+  EXPECT_NEAR(p.tlp_latency(0).to_ns(), p.base_latency_ns, 1e-9);
+  EXPECT_NEAR(p.tlp_latency(64).to_ns(), p.base_latency_ns + 64 * p.per_byte_ns,
+              1e-9);
+}
+
+TEST(LinkParams, MeasuredPcieMatchesPaperCalibration) {
+  // The default link is calibrated so the paper's methodology (half the
+  // MWr->Ack round trip) yields PCIe ~= 137.49 ns.
+  LinkParams p;
+  EXPECT_NEAR(p.measured_pcie_ns(), 137.49, 0.2);
+}
+
+TEST(Link, DownstreamDeliveryTiming) {
+  sim::Simulator sim;
+  LinkParams p;
+  Link link(sim, p);
+  double arrival = -1;
+  link.set_b_tlp_handler([&](const Tlp&) { arrival = sim.now().to_ns(); });
+  link.send_downstream(pio_post(1));
+  sim.run();
+  EXPECT_NEAR(arrival, p.tlp_latency(64).to_ns(), 1e-6);
+}
+
+TEST(Link, AutoAckReachesSenderSide) {
+  sim::Simulator sim;
+  LinkParams p;
+  Link link(sim, p);
+  link.set_b_tlp_handler([](const Tlp&) {});
+  std::vector<DllpType> a_dllps;
+  link.set_a_dllp_handler([&](const Dllp& d) { a_dllps.push_back(d.type); });
+  link.send_downstream(pio_post(1));
+  sim.run();
+  ASSERT_EQ(a_dllps.size(), 1u);
+  EXPECT_EQ(a_dllps[0], DllpType::kAck);
+}
+
+TEST(Link, SerializationLimitsBackToBackThroughput) {
+  sim::Simulator sim;
+  LinkParams p;
+  Link link(sim, p);
+  std::vector<double> arrivals;
+  link.set_b_tlp_handler([&](const Tlp&) {
+    arrivals.push_back(sim.now().to_ns());
+  });
+  for (int i = 0; i < 3; ++i) link.send_downstream(pio_post(i));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const double gap = p.serialize(64).to_ns();
+  EXPECT_NEAR(arrivals[1] - arrivals[0], gap, 1e-6);
+  EXPECT_NEAR(arrivals[2] - arrivals[1], gap, 1e-6);
+}
+
+TEST(Link, PostedOrderingPreserved) {
+  // A small TLP after a big one must not overtake it.
+  sim::Simulator sim;
+  LinkParams p;
+  p.per_byte_ns = 1.0;  // exaggerate size-dependent latency
+  Link link(sim, p);
+  std::vector<std::uint32_t> sizes;
+  link.set_b_tlp_handler([&](const Tlp& t) { sizes.push_back(t.bytes); });
+  Tlp big = pio_post(1);
+  big.bytes = 256;
+  Tlp small = pio_post(2);
+  small.bytes = 8;
+  link.send_downstream(big);
+  link.send_downstream(small);
+  sim.run();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 256u);
+  EXPECT_EQ(sizes[1], 8u);
+}
+
+TEST(Link, UpstreamTapRecordsAtDeparture) {
+  sim::Simulator sim;
+  Analyzer tap;
+  LinkParams p;
+  Link link(sim, p, &tap);
+  link.set_a_tlp_handler([](const Tlp&) {});
+  sim.call_at(100_ns, [&] {
+    Tlp t;
+    t.type = TlpType::kMemWrite;
+    t.bytes = 64;
+    link.send_upstream(t);
+  });
+  sim.run();
+  const auto ups = tap.trace().upstream_writes();
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_NEAR(ups[0].t.to_ns(), 100.0, 1e-9);  // departure, not arrival
+}
+
+TEST(Link, DownstreamTapRecordsAtArrival) {
+  sim::Simulator sim;
+  Analyzer tap;
+  LinkParams p;
+  Link link(sim, p, &tap);
+  link.set_b_tlp_handler([](const Tlp&) {});
+  link.send_downstream(pio_post(7));
+  sim.run();
+  const auto downs = tap.trace().downstream_writes();
+  ASSERT_EQ(downs.size(), 1u);
+  EXPECT_NEAR(downs[0].t.to_ns(), p.tlp_latency(64).to_ns(), 1e-6);
+  EXPECT_EQ(downs[0].msg_id, 7u);
+}
+
+TEST(Link, MeasuredRoundTripMatchesMethodology) {
+  // Reproduce §4.3's PCIe measurement end to end: NIC-initiated MWr
+  // (upstream) followed by the RC's Ack DLLP, both timestamped at the tap;
+  // half the span must equal LinkParams::measured_pcie_ns().
+  sim::Simulator sim;
+  Analyzer tap;
+  LinkParams p;
+  Link link(sim, p, &tap);
+  link.set_a_tlp_handler([](const Tlp&) {});
+  Tlp cqe;
+  cqe.type = TlpType::kMemWrite;
+  cqe.bytes = 64;
+  cqe.content = CqeWrite{0, 1, 1};
+  link.send_upstream(cqe);
+  sim.run();
+
+  const auto mwrs = tap.trace().filter([](const TraceRecord& r) {
+    return !r.is_dllp && r.dir == Direction::kUpstream;
+  });
+  const auto acks = tap.trace().filter([](const TraceRecord& r) {
+    return r.is_dllp && r.dir == Direction::kDownstream &&
+           r.dllp_type == DllpType::kAck;
+  });
+  ASSERT_EQ(mwrs.size(), 1u);
+  ASSERT_EQ(acks.size(), 1u);
+  const double round_trip = (acks[0].t - mwrs[0].t).to_ns();
+  EXPECT_NEAR(round_trip / 2.0, p.measured_pcie_ns(), 1e-6);
+}
+
+}  // namespace
+}  // namespace bb::pcie

@@ -1,0 +1,151 @@
+#include "pcie/root_complex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bb::pcie {
+namespace {
+
+using namespace bb::literals;
+
+struct RcFixture {
+  sim::Simulator sim;
+  Link link{sim, LinkParams{}};
+  RcParams params{};
+  RootComplex rc{sim, link, params};
+};
+
+Tlp doorbell() {
+  Tlp t;
+  t.type = TlpType::kMemWrite;
+  t.bytes = 8;
+  t.content = DoorbellWrite{0, 1};
+  return t;
+}
+
+TEST(RcParams, RcToMemCalibration) {
+  RcParams p;
+  // Table 1: RC-to-MEM(8B) = 240.96 ns.
+  EXPECT_NEAR(p.rc_to_mem(8).to_ns(), 240.96, 1e-6);
+  EXPECT_GT(p.rc_to_mem(64).to_ns(), p.rc_to_mem(8).to_ns());
+}
+
+TEST(RootComplex, ForwardsMmioDownstream) {
+  RcFixture f;
+  int delivered = 0;
+  f.link.set_b_tlp_handler([&](const Tlp& t) {
+    EXPECT_EQ(t.bytes, 8u);
+    ++delivered;
+  });
+  f.rc.post_mmio(doorbell());
+  f.sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(f.rc.mmio_issued(), 1u);
+}
+
+TEST(RootComplex, CommitsUpstreamWriteAfterRcToMem) {
+  RcFixture f;
+  f.link.set_b_tlp_handler([](const Tlp&) {});
+  double visible = -1;
+  f.rc.set_memory_sink([&](const Tlp&, TimePs at) { visible = at.to_ns(); });
+  Tlp up;
+  up.type = TlpType::kMemWrite;
+  up.bytes = 8;
+  up.content = PayloadWrite{1, 0, 8, 0, WireOp::kRdmaWrite};
+  f.link.send_upstream(up);
+  f.sim.run();
+  const double arrival = f.link.params().tlp_latency(8).to_ns();
+  EXPECT_NEAR(visible, arrival + 240.96, 1e-6);
+  EXPECT_EQ(f.rc.mem_writes_committed(), 1u);
+}
+
+TEST(RootComplex, ServesDmaReadWithCplD) {
+  RcFixture f;
+  f.rc.set_read_provider([](const ReadRequest& req) {
+    ReadCompletion rc;
+    rc.what = req.what;
+    rc.bytes = 64;
+    rc.md.msg_id = 77;
+    return rc;
+  });
+  std::vector<Tlp> at_b;
+  f.link.set_b_tlp_handler([&](const Tlp& t) { at_b.push_back(t); });
+
+  Tlp rd;
+  rd.type = TlpType::kMemRead;
+  rd.tag = 9;
+  ReadRequest req;
+  req.what = ReadRequest::What::kDescriptor;
+  req.bytes = 64;
+  rd.content = req;
+  f.link.send_upstream(rd);
+  f.sim.run();
+
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].type, TlpType::kCompletionData);
+  EXPECT_EQ(at_b[0].tag, 9u);
+  const auto* rc = std::get_if<ReadCompletion>(&at_b[0].content);
+  ASSERT_NE(rc, nullptr);
+  EXPECT_EQ(rc->md.msg_id, 77u);
+}
+
+TEST(RootComplex, ReturnsCreditsForProcessedUpstreamTlps) {
+  RcFixture f;
+  f.rc.set_memory_sink([](const Tlp&, TimePs) {});
+  std::vector<Dllp> at_b;
+  f.link.set_b_dllp_handler([&](const Dllp& d) {
+    if (d.type == DllpType::kUpdateFC) at_b.push_back(d);
+  });
+  Tlp up;
+  up.type = TlpType::kMemWrite;
+  up.bytes = 64;
+  up.content = CqeWrite{0, 1, 1};
+  f.link.send_upstream(up);
+  f.sim.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0].credit_class, CreditClass::kPosted);
+  EXPECT_EQ(at_b[0].header_credits, 1u);
+  EXPECT_EQ(at_b[0].data_credits, 4u);
+}
+
+TEST(RootComplex, StallsWhenCreditsExhaustedAndResumesOnUpdateFC) {
+  sim::Simulator sim;
+  Link link(sim, LinkParams{});
+  // Room for exactly one 64 B posted write.
+  auto credits = CreditState::with_budget({1, 4}, {1, 1}, {1, 4});
+  RootComplex rc(sim, link, RcParams{}, credits);
+  std::vector<double> arrivals;
+  link.set_b_tlp_handler([&](const Tlp&) {
+    arrivals.push_back(sim.now().to_ns());
+  });
+
+  Tlp pio;
+  pio.type = TlpType::kMemWrite;
+  pio.bytes = 64;
+  pio.content = DescriptorWrite{};
+  rc.post_mmio(pio);
+  rc.post_mmio(pio);  // must stall until credits return
+
+  // The NIC side returns credits at t = 3000 ns.
+  sim.call_at(3000_ns, [&] {
+    Dllp fc;
+    fc.type = DllpType::kUpdateFC;
+    fc.credit_class = CreditClass::kPosted;
+    fc.header_credits = 1;
+    fc.data_credits = 4;
+    link.send_dllp_upstream(fc);
+  });
+  sim.run();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  const double l64 = link.params().tlp_latency(64).to_ns();
+  EXPECT_NEAR(arrivals[0], l64, 1e-6);
+  // Second write left only after the UpdateFC arrived (3000 + DLLP latency).
+  const double fc_arrival = 3000.0 + link.params().dllp_latency().to_ns();
+  EXPECT_NEAR(arrivals[1], fc_arrival + l64, 1.0);
+  EXPECT_GE(rc.credit_stalls(), 1u);
+}
+
+}  // namespace
+}  // namespace bb::pcie

@@ -1,0 +1,115 @@
+// Property tests: the analytical models must track the simulator across
+// the configuration space, not just at the paper's calibration point.
+// Each case draws a random (but deterministic-per-seed) machine, runs
+// the real benchmark loop, and checks the model's prediction.
+
+#include <gtest/gtest.h>
+
+#include "benchlib/am_lat.hpp"
+#include "benchlib/osu.hpp"
+#include "benchlib/put_bw.hpp"
+#include "common/rng.hpp"
+#include "core/models.hpp"
+#include "scenario/testbed.hpp"
+
+namespace bb {
+namespace {
+
+/// A random machine: every major component time scaled independently,
+/// jitter stripped so runs are exactly repeatable.
+scenario::SystemConfig random_config(std::uint64_t seed) {
+  Rng rng(seed);
+  auto cfg = scenario::presets::deterministic();
+  auto scale = [&](double lo, double hi) { return rng.uniform(lo, hi); };
+
+  cfg.cpu.md_setup.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.barrier_store_md.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.barrier_store_dbc.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.pio_copy_64b.mean_ns *= scale(0.3, 2.0);
+  cfg.cpu.llp_post_misc.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.llp_prog.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.mpich_isend.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.mpich_rx_callback.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.ucp_rx_callback.mean_ns *= scale(0.5, 2.0);
+  cfg.cpu.hlp_tx_prog.mean_ns *= scale(0.5, 2.0);
+
+  cfg.net.wire_latency_ns = scale(100.0, 500.0);
+  cfg.net.switch_latency_ns = scale(30.0, 200.0);
+  cfg.net.num_switches = static_cast<int>(rng.uniform_u64(3));
+  cfg.link.base_latency_ns = scale(60.0, 250.0);
+  cfg.rc.rc_to_mem_base_ns = scale(100.0, 400.0);
+  return cfg;
+}
+
+class ModelVsSim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelVsSim, LlpLatencyModelTracksAmLat) {
+  const auto cfg = random_config(GetParam());
+  scenario::Testbed tb(cfg);
+  bench::AmLatBenchmark bench(tb, {.iterations = 150,
+                                   .warmup = 20,
+                                   .speed_factor = 1.0,
+                                   .capture_trace = false});
+  const double observed = bench.run().adjusted_mean_ns;
+  const double model = core::LatencyModel(
+                           core::ComponentTable::from_config(cfg))
+                           .llp_latency_ns();
+  // The simulator adds what the model omits (NIC processing, discovery
+  // slack, serialization): a small positive, bounded offset.
+  EXPECT_GT(observed, model);
+  EXPECT_LT(observed - model, 120.0)
+      << "seed " << GetParam() << " model " << model << " observed "
+      << observed;
+}
+
+TEST_P(ModelVsSim, Eq2TracksMessageRate) {
+  const auto cfg = random_config(GetParam());
+  scenario::Testbed tb(cfg);
+  bench::OsuMessageRate bench(tb, {.windows = 60,
+                                   .warmup_windows = 10,
+                                   .speed_factor = 1.0});
+  const double observed = bench.run().cpu_per_msg_ns;
+  auto table = core::ComponentTable::from_config(cfg);
+  table.misc_overall_inj = 0.0;  // busy posts are emergent, not configured
+  const double model = core::InjectionModel(table).overall_injection_ns();
+  EXPECT_NEAR(observed, model, model * 0.05)
+      << "seed " << GetParam();
+}
+
+TEST_P(ModelVsSim, Eq1TracksPutBw) {
+  const auto cfg = random_config(GetParam());
+  scenario::Testbed tb(cfg);
+  bench::PutBwBenchmark bench(tb, {.messages = 3000,
+                                   .warmup = 500,
+                                   .speed_factor = 1.0});
+  const double observed = bench.run().nic_deltas.summarize().mean;
+  const double model = core::InjectionModel(
+                           core::ComponentTable::from_config(cfg))
+                           .llp_injection_ns();
+  // Eq. 1 over-counts slightly (its Misc assumes a busy post on every
+  // iteration); the observation lands between the no-busy floor and the
+  // model.
+  const double floor = model - cfg.cpu.busy_post.mean_ns;
+  EXPECT_GE(observed, floor * 0.995) << "seed " << GetParam();
+  EXPECT_LE(observed, model * 1.01) << "seed " << GetParam();
+}
+
+TEST_P(ModelVsSim, E2eLatencyModelTracksOsu) {
+  const auto cfg = random_config(GetParam());
+  scenario::Testbed tb(cfg);
+  bench::OsuLatency bench(tb, {.iterations = 120,
+                               .warmup = 20,
+                               .speed_factor = 1.0});
+  const double observed = bench.run().adjusted_mean_ns;
+  const double model = core::LatencyModel(
+                           core::ComponentTable::from_config(cfg))
+                           .e2e_latency_ns();
+  // Un-modelled hardware effects add; wait-entry overlap subtracts.
+  EXPECT_NEAR(observed, model, model * 0.08) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMachines, ModelVsSim,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,135 @@
+#include "scenario/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/mpi_stack.hpp"
+
+namespace bb::scenario {
+namespace {
+
+TEST(Cluster, ConstructsNNodes) {
+  Cluster cl(presets::deterministic(), 4);
+  EXPECT_EQ(cl.node_count(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cl.node(i).nic.node_id(), i);
+  }
+}
+
+TEST(Cluster, RoutesToExplicitPeer) {
+  Cluster cl(presets::deterministic(), 3);
+  auto& ep02 = cl.add_endpoint(0, 2);
+  cl.sim().spawn([](Cluster& c, llp::Endpoint& e) -> sim::Task<void> {
+    while (co_await e.put_short(8) != llp::Status::kOk) {
+      co_await c.node(0).worker.progress();
+    }
+    while (e.outstanding() > 0) co_await c.node(0).worker.progress();
+  }(cl, ep02));
+  cl.sim().run();
+  EXPECT_EQ(cl.node(2).host.payload_bytes_delivered(), 8u);
+  EXPECT_EQ(cl.node(1).host.payload_bytes_delivered(), 0u);
+}
+
+TEST(Cluster, EndpointsGetUniqueQps) {
+  Cluster cl(presets::deterministic(), 3);
+  auto& a = cl.add_endpoint(0, 1);
+  auto& b = cl.add_endpoint(0, 2);
+  EXPECT_NE(a.config().qp, b.config().qp);
+  EXPECT_EQ(a.config().peer_node, 1);
+  EXPECT_EQ(b.config().peer_node, 2);
+}
+
+TEST(Cluster, RingExchangeCompletes) {
+  // Each rank sends one message to its right neighbour and receives one
+  // from its left -- the minimal multi-rank pattern.
+  constexpr int kNodes = 4;
+  Cluster cl(presets::deterministic(), kNodes);
+  std::vector<llp::Endpoint*> eps;
+  for (int r = 0; r < kNodes; ++r) {
+    cl.node(r).nic.post_receives(4);
+    eps.push_back(&cl.add_endpoint(r, (r + 1) % kNodes));
+  }
+  for (int r = 0; r < kNodes; ++r) {
+    cl.sim().spawn([](Cluster& c, int rank, llp::Endpoint& e) -> sim::Task<void> {
+      while (co_await e.am_short(8) != llp::Status::kOk) {
+        co_await c.node(rank).worker.progress();
+      }
+      // Wait for our own send completion and the neighbour's message.
+      while (e.outstanding() > 0 ||
+             c.node(rank).worker.rx_completions() == 0) {
+        co_await c.node(rank).worker.progress();
+      }
+    }(cl, r, *eps[static_cast<std::size_t>(r)]));
+  }
+  cl.sim().run();
+  for (int r = 0; r < kNodes; ++r) {
+    EXPECT_EQ(cl.node(r).worker.rx_completions(), 1u) << "rank " << r;
+    EXPECT_EQ(cl.node(r).host.payload_bytes_delivered(), 8u) << "rank " << r;
+  }
+}
+
+TEST(Cluster, PairwiseLatencyMatchesTestbed) {
+  // A 2-node cluster must behave exactly like the Testbed.
+  Cluster cl(presets::deterministic(), 2);
+  auto& ep = cl.add_endpoint(0, 1);
+  cl.node(1).nic.post_receives(1);
+  double done = 0;
+  cl.sim().spawn([](Cluster& c, llp::Endpoint& e, double& out) -> sim::Task<void> {
+    (void)co_await e.am_short(8);
+    while (c.node(1).host.rx_cq().depth() == 0) {
+      co_await c.sim().delay(TimePs::from_ns(10));
+    }
+    out = c.sim().now().to_ns();
+  }(cl, ep, done));
+  cl.sim().run();
+  const auto& C = cl.config();
+  const double expected = C.cpu.llp_post_mean_ns() +
+                          C.link.tlp_latency(64).to_ns() + C.nic.tx_proc_ns +
+                          C.net.network_latency().to_ns() + C.nic.rx_proc_ns +
+                          C.link.tlp_latency(8).to_ns() +
+                          C.rc.rc_to_mem(8).to_ns();
+  EXPECT_NEAR(done, expected, 12.0);  // polling granularity
+}
+
+TEST(Cluster, MpiRingExchange) {
+  // Full MPI stacks on a 3-node ring: each rank isends to its right
+  // neighbour and blocks on an irecv from its left.
+  constexpr int kNodes = 3;
+  Cluster cl(presets::deterministic(), kNodes);
+  std::vector<std::unique_ptr<MpiStack>> stacks;
+  for (int r = 0; r < kNodes; ++r) {
+    cl.node(r).nic.post_receives(8);
+    auto& ep = cl.add_endpoint(r, (r + 1) % kNodes);
+    stacks.push_back(std::make_unique<MpiStack>(cl.node(r), ep));
+  }
+  int done = 0;
+  for (int r = 0; r < kNodes; ++r) {
+    cl.sim().spawn([](MpiStack& st, int& d) -> sim::Task<void> {
+      hlp::Request* rr = st.mpi().irecv(8);
+      (void)co_await st.mpi().isend(8);
+      co_await st.mpi().wait(rr);
+      ++d;
+    }(*stacks[static_cast<std::size_t>(r)], done));
+  }
+  cl.sim().run();
+  EXPECT_EQ(done, kNodes);
+  for (int r = 0; r < kNodes; ++r) {
+    EXPECT_EQ(cl.node(r).host.payload_bytes_delivered(), 8u) << "rank " << r;
+  }
+}
+
+TEST(Cluster, AnalyzerTapsNodeZeroOnly) {
+  Cluster cl(presets::deterministic(), 3);
+  auto& ep12 = cl.add_endpoint(1, 2);
+  cl.sim().spawn([](Cluster& c, llp::Endpoint& e) -> sim::Task<void> {
+    while (co_await e.put_short(8) != llp::Status::kOk) {
+      co_await c.node(1).worker.progress();
+    }
+    while (e.outstanding() > 0) co_await c.node(1).worker.progress();
+  }(cl, ep12));
+  cl.sim().run();
+  // Traffic between nodes 1 and 2 never crosses node 0's link.
+  EXPECT_EQ(cl.analyzer().trace().size(), 0u);
+}
+
+}  // namespace
+}  // namespace bb::scenario

@@ -1,0 +1,127 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bb::sim {
+namespace {
+
+using namespace bb::literals;
+
+TEST(Channel, ReceiveAfterSendIsImmediate) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.send(5);
+  int got = 0;
+  sim.spawn([](Channel<int>& c, int& out) -> Task<void> {
+    out = co_await c.receive();
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Channel, ReceiveBlocksUntilSend) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  double recv_time = -1;
+  sim.spawn([](Simulator& s, Channel<int>& c, double& t) -> Task<void> {
+    (void)co_await c.receive();
+    t = s.now().to_ns();
+  }(sim, ch, recv_time));
+  sim.call_at(25_ns, [&] { ch.send(1); });
+  sim.run();
+  EXPECT_EQ(recv_time, 25.0);
+}
+
+TEST(Channel, FifoOrderPreserved) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  for (int i = 0; i < 5; ++i) ch.send(i);
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<void> {
+    for (int i = 0; i < 5; ++i) out.push_back(co_await c.receive());
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, MultipleWaitersServedFifo) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<std::string> log;
+  auto waiter = [](Channel<int>& c, std::vector<std::string>& out,
+                   std::string name) -> Task<void> {
+    const int v = co_await c.receive();
+    out.push_back(name + ":" + std::to_string(v));
+  };
+  sim.spawn(waiter(ch, log, "first"));
+  sim.spawn(waiter(ch, log, "second"));
+  sim.call_at(5_ns, [&] {
+    ch.send(100);
+    ch.send(200);
+  });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"first:100", "second:200"}));
+}
+
+TEST(Channel, TryReceiveNonBlocking) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send(9);
+  auto v = ch.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(Channel, PendingCount) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_EQ(ch.pending(), 0u);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.pending(), 2u);
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Simulator sim;
+  Channel<std::unique_ptr<int>> ch(sim);
+  ch.send(std::make_unique<int>(77));
+  int got = 0;
+  sim.spawn([](Channel<std::unique_ptr<int>>& c, int& out) -> Task<void> {
+    auto p = co_await c.receive();
+    out = *p;
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, 77);
+}
+
+TEST(Channel, ProducerConsumerPipeline) {
+  // Producer emits every 10 ns, consumer takes 15 ns per item: consumer-
+  // bound completion at steady state.
+  Simulator sim;
+  Channel<int> ch(sim);
+  sim.spawn([](Simulator& s, Channel<int>& c) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await s.delay(10_ns);
+      c.send(i);
+    }
+  }(sim, ch));
+  double done_ns = 0;
+  sim.spawn([](Simulator& s, Channel<int>& c, double& done) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      (void)co_await c.receive();
+      co_await s.delay(15_ns);
+    }
+    done = s.now().to_ns();
+  }(sim, ch, done_ns));
+  sim.run();
+  // First item at 10 ns, then the 15 ns service dominates: 10 + 10*15.
+  EXPECT_EQ(done_ns, 160.0);
+}
+
+}  // namespace
+}  // namespace bb::sim

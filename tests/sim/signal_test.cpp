@@ -1,0 +1,73 @@
+#include "sim/signal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bb::sim {
+namespace {
+
+using namespace bb::literals;
+
+TEST(Signal, WakesAllWaiters) {
+  Simulator sim;
+  Signal sig(sim);
+  int woken = 0;
+  auto waiter = [](Signal& s, int& n) -> Task<void> {
+    co_await s.wait();
+    ++n;
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(sig, woken));
+  sim.call_at(10_ns, [&] { sig.fire(); });
+  sim.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(Signal, FireWithNoWaitersIsNoop) {
+  Simulator sim;
+  Signal sig(sim);
+  sig.fire();
+  EXPECT_EQ(sig.waiter_count(), 0u);
+}
+
+TEST(Signal, WaiterCountTracksBlockedProcesses) {
+  Simulator sim;
+  Signal sig(sim);
+  sim.spawn([](Signal& s) -> Task<void> { co_await s.wait(); }(sig));
+  sim.step();  // let the process reach the wait
+  EXPECT_EQ(sig.waiter_count(), 1u);
+  sig.fire();
+  EXPECT_EQ(sig.waiter_count(), 0u);
+  sim.run();
+}
+
+TEST(Signal, ReusableAcrossFires) {
+  Simulator sim;
+  Signal sig(sim);
+  int wakes = 0;
+  sim.spawn([](Signal& s, int& n) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.wait();
+      ++n;
+    }
+  }(sig, wakes));
+  sim.call_at(1_ns, [&] { sig.fire(); });
+  sim.call_at(2_ns, [&] { sig.fire(); });
+  sim.call_at(3_ns, [&] { sig.fire(); });
+  sim.run();
+  EXPECT_EQ(wakes, 3);
+}
+
+TEST(Signal, WakeHappensAtFireTime) {
+  Simulator sim;
+  Signal sig(sim);
+  double t = -1;
+  sim.spawn([](Simulator& s, Signal& sg, double& out) -> Task<void> {
+    co_await sg.wait();
+    out = s.now().to_ns();
+  }(sim, sig, t));
+  sim.call_at(42_ns, [&] { sig.fire(); });
+  sim.run();
+  EXPECT_EQ(t, 42.0);
+}
+
+}  // namespace
+}  // namespace bb::sim

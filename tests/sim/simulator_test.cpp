@@ -1,0 +1,207 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace bb::sim {
+namespace {
+
+using namespace bb::literals;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePs::zero());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CallbackRunsAtScheduledTime) {
+  Simulator sim;
+  TimePs observed;
+  sim.call_at(10_ns, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(observed, 10_ns);
+  EXPECT_EQ(sim.now(), 10_ns);
+}
+
+TEST(Simulator, CallbacksRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.call_at(30_ns, [&] { order.push_back(3); });
+  sim.call_at(10_ns, [&] { order.push_back(1); });
+  sim.call_at(20_ns, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, EqualTimestampsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.call_at(5_ns, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulator, DelayAdvancesProcessTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.spawn([](Simulator& s, std::vector<double>& out) -> Task<void> {
+    out.push_back(s.now().to_ns());
+    co_await s.delay(100_ns);
+    out.push_back(s.now().to_ns());
+    co_await s.delay(50_ns);
+    out.push_back(s.now().to_ns());
+  }(sim, times));
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{0.0, 100.0, 150.0}));
+}
+
+TEST(Simulator, TwoProcessesInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<std::string> log;
+  auto proc = [](Simulator& s, std::vector<std::string>& out,
+                 std::string name, TimePs step) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(step);
+      out.push_back(name + "@" + std::to_string(s.now().ps()));
+    }
+  };
+  sim.spawn(proc(sim, log, "a", 10_ns));
+  sim.spawn(proc(sim, log, "b", 15_ns));
+  sim.run();
+  // At the 30 ns tie, "b" armed its delay earlier (at t=15) than "a" (at
+  // t=20), so FIFO tie-breaking runs b first.
+  EXPECT_EQ(log, (std::vector<std::string>{
+                     "a@10000", "b@15000", "a@20000", "b@30000", "a@30000",
+                     "b@45000"}));
+}
+
+TEST(Simulator, NestedTaskAwaitReturnsValue) {
+  Simulator sim;
+  int result = 0;
+  auto leaf = [](Simulator& s) -> Task<int> {
+    co_await s.delay(7_ns);
+    co_return 42;
+  };
+  sim.spawn([](Simulator& s, int& out,
+               auto mk) -> Task<void> {
+    out = co_await mk(s);
+    out += static_cast<int>(s.now().to_ns());
+  }(sim, result, leaf));
+  sim.run();
+  EXPECT_EQ(result, 49);  // 42 + 7 ns elapsed
+}
+
+TEST(Simulator, DeeplyNestedAwaitChain) {
+  Simulator sim;
+  // Each level adds 1 ns; validates symmetric transfer does not blow the
+  // stack and times accumulate correctly.
+  struct Rec {
+    static Task<int> go(Simulator& s, int depth) {
+      co_await s.delay(1_ns);
+      if (depth == 0) co_return 0;
+      co_return 1 + co_await go(s, depth - 1);
+    }
+  };
+  int result = -1;
+  sim.spawn([](Simulator& s, int& out) -> Task<void> {
+    out = co_await Rec::go(s, 5000);
+  }(sim, result));
+  sim.run();
+  EXPECT_EQ(result, 5000);
+  EXPECT_EQ(sim.now(), 5001_ns);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.spawn([](Simulator& s, int& c) -> Task<void> {
+    for (;;) {
+      co_await s.delay(10_ns);
+      ++c;
+    }
+  }(sim, count));
+  sim.run_until(95_ns);
+  EXPECT_EQ(count, 9);
+  EXPECT_EQ(sim.now(), 95_ns);
+  sim.run_until(100_ns);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunWhilePendingStopsOnPredicate) {
+  Simulator sim;
+  int count = 0;
+  sim.spawn([](Simulator& s, int& c) -> Task<void> {
+    for (;;) {
+      co_await s.delay(10_ns);
+      ++c;
+    }
+  }(sim, count));
+  EXPECT_TRUE(sim.run_while_pending([&] { return count >= 5; }));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, RunWhilePendingReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.call_at(1_ns, [] {});
+  EXPECT_FALSE(sim.run_while_pending([] { return false; }));
+}
+
+TEST(Simulator, RootProcessExceptionPropagates) {
+  Simulator sim;
+  sim.spawn([](Simulator& s) -> Task<void> {
+    co_await s.delay(1_ns);
+    throw std::runtime_error("boom");
+  }(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, NestedTaskExceptionPropagatesToParent) {
+  Simulator sim;
+  bool caught = false;
+  auto leaf = [](Simulator& s) -> Task<void> {
+    co_await s.delay(1_ns);
+    throw std::runtime_error("inner");
+  };
+  sim.spawn([](Simulator& s, bool& c, auto mk) -> Task<void> {
+    try {
+      co_await mk(s);
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  }(sim, caught, leaf));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulator, SuspendedProcessesDestroyedCleanly) {
+  // A process blocked forever must not leak or crash at teardown.
+  auto sim = std::make_unique<Simulator>();
+  sim->spawn([](Simulator& s) -> Task<void> {
+    co_await s.delay(TimePs(INT64_MAX / 2));
+  }(*sim));
+  sim->step();  // start the process so it suspends in the delay
+  sim.reset();  // must destroy the suspended frame without UB
+}
+
+TEST(Simulator, EventsProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.call_at(TimePs(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, RngDeterministicPerSeed) {
+  Simulator a(7), b(7), c(8);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  Simulator d(8);
+  EXPECT_EQ(c.rng().next_u64(), d.rng().next_u64());
+}
+
+}  // namespace
+}  // namespace bb::sim
