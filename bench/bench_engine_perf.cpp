@@ -3,13 +3,38 @@
 // messages simulated per second. These guard against performance
 // regressions that would make the reproduction benches impractically
 // slow.
+//
+// This binary also installs counting global `operator new`/`delete`
+// hooks. The *Steady variants report `allocs_per_item`, which must stay
+// at 0.000: the engine's contract is zero heap allocations per event in
+// steady state (pooled nodes, recycled coroutine frames, cached queue
+// buffers). `scripts/check_perf.sh` fails the build if it drifts.
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "benchlib/put_bw.hpp"
 #include "scenario/testbed.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -69,6 +94,72 @@ void BM_ChannelPingPong(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
 }
 BENCHMARK(BM_ChannelPingPong)->Arg(10000);
+
+// Steady-state variants: one warm simulator, allocation counting. These
+// isolate the dispatch hot path from first-use pool/queue growth; their
+// `allocs_per_item` counter is the zero-allocation regression guard.
+
+void BM_EventDispatchSteady(benchmark::State& state) {
+  sim::Simulator sim;
+  const int n = static_cast<int>(state.range(0));
+  int sink = 0;
+  const auto wave = [&] {
+    for (int i = 0; i < n; ++i) {
+      sim.call_at(sim.now() + TimePs(i + 1), [&sink] { ++sink; });
+    }
+    sim.run();
+  };
+  wave();  // warm: grow node pool, run queue, ready ring once
+  const std::uint64_t before = g_heap_allocs.load();
+  for (auto _ : state) {
+    wave();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["allocs_per_item"] =
+      static_cast<double>(g_heap_allocs.load() - before) /
+      static_cast<double>(state.iterations() * n);
+}
+BENCHMARK(BM_EventDispatchSteady)->Arg(1000);
+
+void BM_ChannelPingPongSteady(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Channel<int> a(sim), b(sim);
+  const int n = static_cast<int>(state.range(0));
+  auto pinger = [](sim::Channel<int>& rx, sim::Channel<int>& tx,
+                   int iters) -> sim::Task<void> {
+    for (int i = 0; i < iters; ++i) {
+      tx.send(i);
+      (void)co_await rx.receive();
+    }
+  };
+  auto ponger = [](sim::Channel<int>& rx, sim::Channel<int>& tx,
+                   int iters) -> sim::Task<void> {
+    for (int i = 0; i < iters; ++i) {
+      const int v = co_await rx.receive();
+      tx.send(v);
+    }
+  };
+  // Warm: channels, ring, and frame pool all reach steady capacity.
+  sim.spawn(pinger(a, b, 64));
+  sim.spawn(ponger(b, a, 64));
+  sim.run();
+  std::uint64_t measured_allocs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // spawn bookkeeping is not the hot path
+    sim.spawn(pinger(a, b, n));
+    sim.spawn(ponger(b, a, n));
+    const std::uint64_t before = g_heap_allocs.load();
+    state.ResumeTiming();
+    sim.run();
+    measured_allocs += g_heap_allocs.load() - before;
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+  state.counters["allocs_per_item"] =
+      static_cast<double>(measured_allocs) /
+      static_cast<double>(state.iterations() * n * 2);
+}
+BENCHMARK(BM_ChannelPingPongSteady)->Arg(10000);
 
 void BM_PutBwSimulationThroughput(benchmark::State& state) {
   for (auto _ : state) {

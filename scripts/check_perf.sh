@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Engine performance gate.
+#
+# Builds the Release tree, runs the simulator microbenchmarks with
+# --benchmark_format=json (emitted as BENCH_engine.json at the repo root
+# for the perf trajectory), and fails if any benchmark's best-of-N
+# items/sec drops more than 20% below the committed baseline
+# (scripts/perf_baseline.json), or if a *Steady benchmark reports a
+# non-zero steady-state allocation rate.
+#
+# Best-of-N (not mean) is compared on purpose: shared CI boxes run with
+# wildly varying load, and the max over repetitions is the least noisy
+# estimate of what the code can do.
+#
+# Usage:
+#   scripts/check_perf.sh                  # gate against the baseline
+#   scripts/check_perf.sh --update-baseline  # rewrite the baseline instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE=1
+fi
+
+BUILD_DIR="${BB_PERF_BUILD_DIR:-build-perf}"
+# Heavily loaded CI boxes need several repetitions for a stable best-of.
+REPS="${BB_PERF_REPS:-5}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_engine_perf >/dev/null
+
+"$BUILD_DIR/bench/bench_engine_perf" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions="$REPS" \
+  >BENCH_engine.json
+
+UPDATE="$UPDATE" python3 - <<'EOF'
+import json
+import os
+import sys
+
+MAX_REGRESSION = 0.20      # fail below 80% of baseline items/sec
+MAX_ALLOC_RATE = 0.001     # steady-state allocations per simulated item
+
+with open("BENCH_engine.json") as f:
+    report = json.load(f)
+
+best = {}      # benchmark name -> best items_per_second over repetitions
+allocs = {}    # benchmark name -> max allocs_per_item over repetitions
+for b in report["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue  # skip mean/median/stddev aggregate rows
+    name = b["run_name"]
+    ips = b.get("items_per_second")
+    if ips is not None:
+        best[name] = max(best.get(name, 0.0), ips)
+    rate = b.get("allocs_per_item")
+    if rate is not None:
+        allocs[name] = max(allocs.get(name, 0.0), rate)
+
+failed = False
+for name, rate in sorted(allocs.items()):
+    ok = rate <= MAX_ALLOC_RATE
+    print(f"{name}: {rate:.6f} allocs/item "
+          f"({'ok' if ok else f'LIMIT {MAX_ALLOC_RATE}'})")
+    if not ok:
+        failed = True
+
+if os.environ.get("UPDATE") == "1":
+    with open("scripts/perf_baseline.json", "w") as f:
+        json.dump({"items_per_second": best}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("baseline updated: scripts/perf_baseline.json")
+    sys.exit(1 if failed else 0)
+
+with open("scripts/perf_baseline.json") as f:
+    baseline = json.load(f)["items_per_second"]
+
+for name, base in sorted(baseline.items()):
+    now = best.get(name)
+    if now is None:
+        print(f"{name}: MISSING from benchmark run")
+        failed = True
+        continue
+    ratio = now / base
+    ok = ratio >= 1.0 - MAX_REGRESSION
+    print(f"{name}: {now:.3e} vs baseline {base:.3e} items/s "
+          f"({ratio:.2f}x, {'ok' if ok else 'REGRESSION'})")
+    if not ok:
+        failed = True
+
+sys.exit(1 if failed else 0)
+EOF

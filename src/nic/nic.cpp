@@ -40,7 +40,7 @@ void Nic::on_downstream_tlp(const pcie::Tlp& tlp) {
         const pcie::WireMd md = desc->md;
         if (md.inline_payload) {
           // PIO + inlining: descriptor and payload arrived whole.
-          sim_.call_at(sim_.now() + TimePs::from_ns(params_.tx_proc_ns),
+          sim_.call_in(TimePs::from_ns(params_.tx_proc_ns),
                        [this, md] { inject(md); });
         } else {
           // PIO descriptor, but the payload still lives in registered
@@ -61,7 +61,7 @@ void Nic::on_downstream_tlp(const pcie::Tlp& tlp) {
         req.what = pcie::ReadRequest::What::kDescriptor;
         req.qp = db->qp;
         req.bytes = 64;
-        sim_.call_at(sim_.now() + TimePs::from_ns(params_.doorbell_proc_ns),
+        sim_.call_in(TimePs::from_ns(params_.doorbell_proc_ns),
                      [this, req] { issue_dma_read(req); });
         return;
       }
@@ -107,7 +107,7 @@ void Nic::on_read_completion(const pcie::ReadRequest& req,
     const pcie::WireMd md = rc.md;
     if (md.inline_payload) {
       // Payload arrived inside the descriptor; ready to inject.
-      sim_.call_at(sim_.now() + TimePs::from_ns(params_.tx_proc_ns),
+      sim_.call_in(TimePs::from_ns(params_.tx_proc_ns),
                    [this, md] { inject(md); });
     } else {
       // §2 step 3: fetch the payload from registered memory.
@@ -127,7 +127,7 @@ void Nic::on_read_completion(const pcie::ReadRequest& req,
                 "payload CplD with no waiting descriptor");
   const pcie::WireMd md = it->second;
   staged_payload_wait_.erase(it);
-  sim_.call_at(sim_.now() + TimePs::from_ns(params_.tx_proc_ns),
+  sim_.call_in(TimePs::from_ns(params_.tx_proc_ns),
                [this, md] { inject(md); });
 }
 
@@ -159,7 +159,7 @@ sim::Task<void> Nic::upstream_pump() {
 
 void Nic::on_fabric_packet(const net::NetPacket& pkt) {
   if (pkt.is_ack) {
-    sim_.call_at(sim_.now() + TimePs::from_ns(params_.ack_handle_ns),
+    sim_.call_in(TimePs::from_ns(params_.ack_handle_ns),
                  [this, msg_id = pkt.msg_id] { on_ack(msg_id); });
     return;
   }
@@ -171,7 +171,7 @@ void Nic::on_fabric_packet(const net::NetPacket& pkt) {
                   "inbound send with no posted receive (RNR)");
     --rq_available_;
   }
-  sim_.call_at(sim_.now() + TimePs::from_ns(params_.rx_proc_ns),
+  sim_.call_in(TimePs::from_ns(params_.rx_proc_ns),
                [this, md] {
                  pcie::Tlp tlp;
                  tlp.type = pcie::TlpType::kMemWrite;
@@ -187,8 +187,7 @@ void Nic::on_fabric_packet(const net::NetPacket& pkt) {
                });
   // §2 step 4: acknowledge to the initiator NIC. The ACK does not wait
   // for the payload's RC-to-MEM commit.
-  sim_.call_at(sim_.now() +
-                   TimePs::from_ns(params_.rx_proc_ns + params_.ack_gen_ns),
+  sim_.call_in(TimePs::from_ns(params_.rx_proc_ns + params_.ack_gen_ns),
                [this, msg_id = pkt.msg_id, src = pkt.src_node] {
                  fabric_.send(net::NetPacket::ack(msg_id, node_id_, src));
                });

@@ -48,7 +48,7 @@ void Link::transmit_tlp(Direction dir, Tlp tlp) {
     const Direction back = dir == Direction::kDownstream
                                ? Direction::kUpstream
                                : Direction::kDownstream;
-    sim_.call_at(sim_.now() + TimePs::from_ns(params_.ack_processing_ns),
+    sim_.call_in(TimePs::from_ns(params_.ack_processing_ns),
                  [this, back, ack] {
                    transmit_dllp(back, ack);
                  });

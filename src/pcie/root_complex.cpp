@@ -56,7 +56,7 @@ void RootComplex::on_upstream_tlp(const Tlp& tlp) {
       // Serve from DRAM, then return a CplD downstream.
       const ReadRequest request = *req;
       const std::uint64_t tag = tlp.tag;
-      sim_.call_at(sim_.now() + TimePs::from_ns(params_.mem_read_ns),
+      sim_.call_in(TimePs::from_ns(params_.mem_read_ns),
                    [this, request, tag] {
                      ReadCompletion rc = read_provider_(request);
                      Tlp cpl;

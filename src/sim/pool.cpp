@@ -1,0 +1,85 @@
+#include "sim/pool.hpp"
+
+#include <new>
+
+namespace bb::sim::detail {
+namespace {
+
+constexpr std::size_t kMinBucketBytes = 64;
+constexpr std::size_t kMaxBucketBytes = 8192;
+constexpr std::size_t kBucketCount = 8;  // 64, 128, ..., 8192
+
+// Index of the smallest bucket holding `n` bytes.
+std::size_t bucket_index(std::size_t n) {
+  std::size_t idx = 0;
+  std::size_t cap = kMinBucketBytes;
+  while (cap < n) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+constexpr std::size_t bucket_bytes(std::size_t idx) {
+  return kMinBucketBytes << idx;
+}
+
+class FramePool {
+ public:
+  ~FramePool() {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      void* p = free_[i];
+      while (p != nullptr) {
+        void* next = *static_cast<void**>(p);
+        ::operator delete(p);
+        p = next;
+      }
+    }
+  }
+
+  void* alloc(std::size_t n) {
+    if (n > kMaxBucketBytes) {
+      ++stats_.oversize;
+      return ::operator new(n);
+    }
+    const std::size_t idx = bucket_index(n);
+    if (void* p = free_[idx]) {
+      free_[idx] = *static_cast<void**>(p);
+      ++stats_.reused;
+      return p;
+    }
+    ++stats_.fresh;
+    return ::operator new(bucket_bytes(idx));
+  }
+
+  void free(void* p, std::size_t n) noexcept {
+    if (n > kMaxBucketBytes) {
+      ::operator delete(p);
+      return;
+    }
+    const std::size_t idx = bucket_index(n);
+    *static_cast<void**>(p) = free_[idx];
+    free_[idx] = p;
+  }
+
+  const FramePoolStats& stats() const { return stats_; }
+
+ private:
+  void* free_[kBucketCount] = {};
+  FramePoolStats stats_;
+};
+
+FramePool& pool() {
+  thread_local FramePool p;
+  return p;
+}
+
+}  // namespace
+
+void* frame_alloc(std::size_t n) { return pool().alloc(n); }
+
+void frame_free(void* p, std::size_t n) noexcept { pool().free(p, n); }
+
+FramePoolStats frame_pool_stats() noexcept { return pool().stats(); }
+
+}  // namespace bb::sim::detail

@@ -1,0 +1,34 @@
+#pragma once
+// Size-bucketed recycler for coroutine frames.
+//
+// Simulation processes are short-lived coroutines spawned at very high
+// rates (every `progress()` call and benchmark iteration creates frames).
+// `detail::PromiseBase` routes frame allocation through this pool, so a
+// frame released by one completed task is handed back, still cache-warm, to
+// the next task of the same size class. Buckets are powers of two from 64 B
+// to 8 KiB; larger frames (none exist in this codebase) fall through to the
+// global allocator.
+//
+// The pool is thread-local: simulations are single-threaded by design, and
+// per-thread lists make the pool safe if several simulators ever run on
+// different threads concurrently.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bb::sim::detail {
+
+/// Allocates an `n`-byte coroutine frame (pool bucket or global new).
+void* frame_alloc(std::size_t n);
+/// Returns a frame to its bucket (or the global allocator).
+void frame_free(void* p, std::size_t n) noexcept;
+
+struct FramePoolStats {
+  std::uint64_t fresh = 0;     // bucket allocations served by ::operator new
+  std::uint64_t reused = 0;    // bucket allocations served by the free list
+  std::uint64_t oversize = 0;  // frames beyond the largest bucket
+};
+/// Counters for this thread's pool (diagnostics and tests).
+FramePoolStats frame_pool_stats() noexcept;
+
+}  // namespace bb::sim::detail

@@ -19,9 +19,10 @@ class Signal {
   Signal(const Signal&) = delete;
   Signal& operator=(const Signal&) = delete;
 
-  /// Wakes every waiting process (at the current simulated time).
+  /// Wakes every waiting process (at the current simulated time). Wake-ups
+  /// go through the simulator's O(1) ready ring, in FIFO wait order.
   void fire() {
-    for (auto h : waiters_) sim_->schedule_at(sim_->now(), h);
+    for (auto h : waiters_) sim_->schedule_now(h);
     waiters_.clear();
   }
 

@@ -4,6 +4,16 @@
 
 namespace bb::sim {
 
+namespace detail {
+
+void notify_root_error(void* simulator, std::uint32_t root_index,
+                       std::exception_ptr error) noexcept {
+  static_cast<Simulator*>(simulator)->note_root_error(root_index,
+                                                      std::move(error));
+}
+
+}  // namespace detail
+
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 Simulator::~Simulator() {
@@ -12,58 +22,137 @@ Simulator::~Simulator() {
   for (auto& r : roots_) {
     if (r.handle) r.handle.destroy();
   }
+  // Destroy the payloads of events that never ran (captured resources in
+  // queued callbacks must still be released).
+  drop_pending();
 }
 
-void Simulator::schedule_at(TimePs t, std::coroutine_handle<> h) {
-  BB_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, h, nullptr});
-}
-
-void Simulator::call_at(TimePs t, std::function<void()> fn) {
-  BB_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, nullptr, std::move(fn)});
+void Simulator::drop_pending() noexcept {
+  // Destroy payloads of queued callback events; queued coroutine handles
+  // are owned by their root frames and need no action here.
+  const auto drop_item = [this](detail::EventItem item) {
+    if (detail::item_is_node(item)) {
+      detail::EventNode* n = detail::item_node(item);
+      if (n->drop) n->drop(n);
+      pool_.release(n);
+    }
+  };
+  while (!ring_.empty()) drop_item(ring_.pop().item);
+  while (!run_.empty()) drop_item(run_.pop());
+  while (!heap_.empty()) drop_item(heap_.pop());
 }
 
 void Simulator::spawn(Task<void> task, std::string name) {
   auto h = task.release();
   BB_ASSERT_MSG(h, "cannot spawn an empty task");
+  auto& promise = h.promise();
+  promise.root_sim = this;
+  promise.root_index = static_cast<std::uint32_t>(roots_.size());
   roots_.push_back(RootProcess{h, std::move(name)});
   schedule_at(now_, h);
 }
 
-void Simulator::dispatch(Event& ev) {
-  now_ = ev.t;
-  ++events_processed_;
-  if (event_limit_ != 0 && events_processed_ > event_limit_) {
-    BB_UNREACHABLE("simulator event limit exceeded (runaway process?)");
-  }
-  if (ev.h) {
-    ev.h.resume();
-    check_roots_for_errors();
-  } else {
-    ev.callback();
+void Simulator::note_root_error(std::uint32_t root_index,
+                                std::exception_ptr error) noexcept {
+  if (!root_error_) {
+    root_error_ = std::move(error);
+    root_error_index_ = root_index;
   }
 }
 
-void Simulator::check_roots_for_errors() {
-  // Surface exceptions from completed root processes immediately: a failed
-  // process invalidates the whole timeline.
-  for (auto& r : roots_) {
-    if (r.handle && r.handle.done()) {
-      if (r.handle.promise().exception) {
-        std::fprintf(stderr, "bb::sim: root process '%s' threw\n",
-                     r.name.c_str());
-        std::rethrow_exception(r.handle.promise().exception);
+void Simulator::rethrow_root_error() {
+  // Surface exceptions from failed root processes immediately: a failed
+  // process invalidates the whole timeline. The flag stays set, so any
+  // further stepping keeps rethrowing.
+  std::fprintf(stderr, "bb::sim: root process '%s' threw\n",
+               roots_[root_error_index_].name.c_str());
+  std::rethrow_exception(root_error_);
+}
+
+void Simulator::dispatch(TimePs t, detail::EventItem item) {
+  now_ = t;
+  ++events_processed_;
+  if (event_limit_ != 0 && events_processed_ > event_limit_) {
+    if (detail::item_is_node(item)) {
+      detail::EventNode* n = detail::item_node(item);
+      if (n->drop) n->drop(n);
+      pool_.release(n);
+    }
+    throw EventLimitError(event_limit_);
+  }
+  if ((item & 3u) == 0) {
+    detail::item_coro(item).resume();
+  } else if (detail::item_is_fn(item)) {
+    detail::item_fn(item)();
+  } else {
+    // Callback event: run the in-place callable; destroy the payload and
+    // recycle the node even if it throws.
+    detail::EventNode* n = detail::item_node(item);
+    struct Guard {
+      Simulator* sim;
+      detail::EventNode* node;
+      ~Guard() {
+        if (node->drop) node->drop(node);
+        sim->pool_.release(node);
       }
+    } guard{this, n};
+    n->invoke(n);
+  }
+  if (root_error_) [[unlikely]] {
+    rethrow_root_error();
+  }
+}
+
+// Pops the globally smallest (time, seq) event across the three sources.
+// Ring entries all sit at `now_`; a run/heap entry ties with the ring head
+// only when it was scheduled -- with a smaller seq -- before time advanced
+// to `now_`, in which case it must run first to preserve global order.
+bool Simulator::pick_next(TimePs& t, detail::EventItem& item) {
+  // Future sources first: the monotone run and the timer heap, both keyed
+  // by (time, seq).
+  int src = 0;  // 0 = none, 1 = run, 2 = heap
+  std::int64_t ft = 0;
+  std::uint64_t fseq = 0;
+  if (!run_.empty()) {
+    ft = run_.front_time();
+    fseq = run_.front_seq();
+    src = 1;
+  }
+  if (!heap_.empty()) {
+    const std::int64_t ht = heap_.top_time().ps();
+    const std::uint64_t hseq = heap_.top_seq();
+    if (src == 0 || ht < ft || (ht == ft && hseq < fseq)) {
+      ft = ht;
+      fseq = hseq;
+      src = 2;
     }
   }
+  if (!ring_.empty()) {
+    if (src == 0 || ft > now_.ps() || fseq > ring_.head().seq) {
+      t = now_;
+      item = ring_.pop().item;
+      return true;
+    }
+  } else if (src == 0) {
+    return false;
+  }
+  t = TimePs(ft);
+  item = (src == 1) ? run_.pop() : heap_.pop();
+  return true;
+}
+
+bool Simulator::has_event_at_or_before(TimePs t) const {
+  if (!ring_.empty()) return now_ <= t;
+  if (!run_.empty() && TimePs(run_.front_time()) <= t) return true;
+  if (!heap_.empty() && heap_.top_time() <= t) return true;
+  return false;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  dispatch(ev);
+  TimePs t;
+  detail::EventItem item;
+  if (!pick_next(t, item)) return false;
+  dispatch(t, item);
   return true;
 }
 
@@ -73,10 +162,8 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(TimePs t) {
-  while (!queue_.empty() && queue_.top().t <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+  while (has_event_at_or_before(t)) {
+    step();
   }
   if (now_ < t) now_ = t;
 }

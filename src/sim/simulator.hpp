@@ -1,25 +1,55 @@
 #pragma once
 // The discrete-event simulator core.
 //
-// A `Simulator` holds a time-ordered event queue of suspended coroutines
-// (and plain callbacks). Processes are `Task<void>` coroutines spawned as
-// roots; they advance simulated time only by `co_await sim.delay(d)` or by
-// blocking on synchronization primitives (`Channel`, `Signal`). Events with
-// equal timestamps run in FIFO spawn order (a monotonically increasing
-// sequence number breaks ties), which makes runs deterministic.
+// A `Simulator` advances a timeline of suspended coroutines and plain
+// callbacks. Processes are `Task<void>` coroutines spawned as roots; they
+// advance simulated time only by `co_await sim.delay(d)` or by blocking on
+// synchronization primitives (`Channel`, `Signal`). Events with equal
+// timestamps run in FIFO spawn order (a monotonically increasing sequence
+// number breaks ties), which makes runs deterministic.
+//
+// The dispatch loop is built for near-zero per-event overhead (see
+// docs/SIM_ENGINE.md for the full design):
+//  * events live in pooled fixed-size nodes; callables are constructed in
+//    place (no `std::function`, no per-event heap allocation, no copy on
+//    pop);
+//  * events at the current time -- the dominant case -- go through an O(1)
+//    FIFO ready ring; future timestamps scheduled in nondecreasing order
+//    (fixed latencies) ride an O(1) monotone run queue; only out-of-order
+//    timestamps pay the (4-ary) heap;
+//  * root-process failures set a flag via a promise hook instead of being
+//    discovered by a per-event scan over all roots.
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "sim/event.hpp"
 #include "sim/task.hpp"
 
 namespace bb::sim {
+
+/// Thrown when `set_event_limit` is exceeded: a runaway self-rescheduling
+/// process. Always on, in every build type -- a simulator that silently
+/// spins produces plausible-looking wrong numbers.
+class EventLimitError : public std::runtime_error {
+ public:
+  explicit EventLimitError(std::uint64_t limit)
+      : std::runtime_error(
+            "simulator event limit (" + std::to_string(limit) +
+            ") exceeded: runaway process?"),
+        limit_(limit) {}
+  std::uint64_t limit() const { return limit_; }
+
+ private:
+  std::uint64_t limit_;
+};
 
 class Simulator {
  public:
@@ -36,9 +66,35 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Schedules a raw coroutine resume at absolute time `t` (>= now).
-  void schedule_at(TimePs t, std::coroutine_handle<> h);
-  /// Schedules a plain callback at absolute time `t` (>= now).
-  void call_at(TimePs t, std::function<void()> fn);
+  /// Coroutine events are a bare tagged pointer in the queue: no event
+  /// node, no pool, no allocation.
+  void schedule_at(TimePs t, std::coroutine_handle<> h) {
+    BB_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    enqueue(t, detail::coro_item(h));
+  }
+
+  /// Fast path for wake-ups at the current time (Channel sends, Signal
+  /// fires): straight onto the ready ring, no heap involved.
+  void schedule_now(std::coroutine_handle<> h) {
+    ring_.push(next_seq_++, detail::coro_item(h));
+  }
+
+  /// Schedules a callback at absolute time `t` (>= now). Stateless
+  /// callables travel as a tagged bare function pointer; callables with
+  /// captures are constructed in place in a pooled event node (up to
+  /// `detail::EventNode::kInlineBytes` without touching the heap).
+  template <typename F>
+  void call_at(TimePs t, F&& fn) {
+    BB_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+    enqueue(t, detail::make_callback_item(pool_, std::forward<F>(fn)));
+  }
+
+  /// Schedules a callback `d` after the current time (the common
+  /// "processing delay" idiom in the hardware models).
+  template <typename F>
+  void call_in(TimePs d, F&& fn) {
+    call_at(now_ + d, std::forward<F>(fn));
+  }
 
   /// Awaitable that suspends the current process for `d`.
   struct DelayAwaiter {
@@ -68,38 +124,54 @@ class Simulator {
   bool run_while_pending(const std::function<bool()>& pred);
 
   std::uint64_t events_processed() const { return events_processed_; }
-  bool idle() const { return queue_.empty(); }
+  bool idle() const {
+    return ring_.empty() && run_.empty() && heap_.empty();
+  }
 
-  /// Safety valve against runaway process loops; 0 disables.
+  /// Safety valve against runaway process loops; 0 disables. Exceeding the
+  /// limit throws `EventLimitError` in every build type.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
- private:
-  struct Event {
-    TimePs t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;       // either a coroutine ...
-    std::function<void()> callback;  // ... or a callback
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  /// Event-node slabs allocated so far (diagnostic: flat once warm).
+  std::size_t event_pool_chunks() const { return pool_.chunks(); }
 
+  /// Internal: called from the root promise's unhandled_exception hook.
+  void note_root_error(std::uint32_t root_index,
+                       std::exception_ptr error) noexcept;
+
+ private:
   struct RootProcess {
     std::coroutine_handle<detail::Promise<void>> handle;
     std::string name;
   };
 
-  void dispatch(Event& ev);
-  void check_roots_for_errors();
+  void enqueue(TimePs t, detail::EventItem item) {
+    const std::uint64_t seq = next_seq_++;
+    if (t == now_) {
+      ring_.push(seq, item);
+    } else if (run_.empty() || t.ps() >= run_.back_time()) {
+      run_.push(t.ps(), seq, item);
+    } else {
+      heap_.push(t, seq, item);
+    }
+  }
+
+  bool pick_next(TimePs& t, detail::EventItem& item);
+  bool has_event_at_or_before(TimePs t) const;
+  void dispatch(TimePs t, detail::EventItem item);
+  [[noreturn]] void rethrow_root_error();
+  void drop_pending() noexcept;
 
   TimePs now_ = TimePs::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t event_limit_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  detail::EventPool pool_;
+  detail::ReadyRing ring_;
+  detail::MonotoneRun run_;
+  detail::TimerHeap heap_;
+  std::exception_ptr root_error_;
+  std::uint32_t root_error_index_ = 0;
   std::vector<RootProcess> roots_;
   Rng rng_;
 };

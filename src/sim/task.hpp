@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "sim/pool.hpp"
 
 namespace bb::sim {
 
@@ -23,9 +24,25 @@ class [[nodiscard]] Task;
 
 namespace detail {
 
+/// O(1) root-failure hook: wired by `Simulator::spawn` into the root
+/// promise and invoked (from `Promise<void>::unhandled_exception`) the
+/// moment a root process completes with an exception. Defined in
+/// simulator.cpp; declared here so task.hpp stays independent of the
+/// simulator header.
+void notify_root_error(void* simulator, std::uint32_t root_index,
+                       std::exception_ptr error) noexcept;
+
 struct PromiseBase {
   std::coroutine_handle<> continuation = std::noop_coroutine();
   std::exception_ptr exception;
+
+  // Coroutine frames recycle through the thread-local frame pool: process
+  // spawn/teardown is steady-state in every benchmark loop, and pooling
+  // keeps it off the global allocator.
+  static void* operator new(std::size_t n) { return frame_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    frame_free(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -58,8 +75,23 @@ struct Promise : PromiseBase {
 
 template <>
 struct Promise<void> : PromiseBase {
+  /// Set by `Simulator::spawn` on root processes (null otherwise): the
+  /// owning simulator and this root's index in its root table.
+  void* root_sim = nullptr;
+  std::uint32_t root_index = 0;
+
   Task<void> get_return_object() noexcept;
   void return_void() noexcept {}
+
+  // Shadows PromiseBase::unhandled_exception: a failed *root* process
+  // notifies the simulator directly, replacing the per-event linear scan
+  // over all roots with a single flag check in the dispatch loop.
+  void unhandled_exception() noexcept {
+    exception = std::current_exception();
+    if (root_sim != nullptr) {
+      notify_root_error(root_sim, root_index, exception);
+    }
+  }
 
   void take_result() {
     if (exception) std::rethrow_exception(exception);

@@ -1,0 +1,89 @@
+// Determinism golden test for the event engine.
+//
+// Runs the paper's two smallest end-to-end benchmarks (`put_bw`, `am_lat`)
+// on the thunderx2_cx4 preset with the default seed and asserts the exact
+// event count, final simulated time, and an FNV-1a checksum over every
+// field of the analyzer trace. The golden values were captured from the
+// `std::priority_queue`-based engine the ready-ring/run/heap dispatcher
+// replaced; any reordering of same-timestamp events -- however subtle --
+// shifts DLLP interleavings and changes the checksum. Update these
+// constants only for a change that is *supposed* to alter simulated
+// behavior, never for an engine refactor.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "benchlib/am_lat.hpp"
+#include "benchlib/put_bw.hpp"
+#include "pcie/trace.hpp"
+#include "scenario/testbed.hpp"
+
+namespace bb {
+namespace {
+
+// FNV-1a over the analyzer trace: every field of every record in order.
+std::uint64_t trace_checksum(const pcie::Trace& tr) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& r : tr.records()) {
+    mix(static_cast<std::uint64_t>(r.t.ps()));
+    mix(static_cast<std::uint64_t>(r.dir));
+    mix(static_cast<std::uint64_t>(r.is_dllp));
+    mix(static_cast<std::uint64_t>(r.tlp_type));
+    mix(static_cast<std::uint64_t>(r.dllp_type));
+    mix(r.bytes);
+    mix(r.tag);
+    mix(r.msg_id);
+    for (char c : r.kind) {
+      mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+  }
+  return h;
+}
+
+TEST(DeterminismGolden, PutBwOnThunderx2Cx4) {
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  bench::PutBwBenchmark b(
+      tb, {.messages = 2000, .warmup = 200, .capture_trace = true});
+  (void)b.run();
+  EXPECT_EQ(tb.sim().events_processed(), 54885u);
+  EXPECT_EQ(tb.sim().now().ps(), 623024806);
+  EXPECT_EQ(tb.analyzer().trace().size(), 13200u);
+  EXPECT_EQ(trace_checksum(tb.analyzer().trace()), 0x4b310291a8770261ull);
+}
+
+TEST(DeterminismGolden, AmLatOnThunderx2Cx4) {
+  scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+  bench::AmLatBenchmark b(
+      tb, {.iterations = 500, .warmup = 50, .capture_trace = true});
+  (void)b.run();
+  EXPECT_EQ(tb.sim().events_processed(), 155301u);
+  EXPECT_EQ(tb.sim().now().ps(), 1319178710);
+  EXPECT_EQ(tb.analyzer().trace().size(), 4950u);
+  EXPECT_EQ(trace_checksum(tb.analyzer().trace()), 0x99a7aa2d313a960eull);
+}
+
+// Two runs with the same seed must agree event-for-event, independent of
+// the golden constants above (guards nondeterminism that happens to
+// change both runs identically within a process but not across hosts).
+TEST(DeterminismGolden, BackToBackRunsAreIdentical) {
+  auto run_once = [] {
+    scenario::Testbed tb(scenario::presets::thunderx2_cx4());
+    bench::PutBwBenchmark b(
+        tb, {.messages = 500, .warmup = 50, .capture_trace = true});
+    (void)b.run();
+    return std::tuple{tb.sim().events_processed(), tb.sim().now().ps(),
+                      trace_checksum(tb.analyzer().trace())};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bb
