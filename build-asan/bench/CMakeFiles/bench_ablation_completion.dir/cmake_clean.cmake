@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_completion.dir/bench_ablation_completion.cpp.o"
+  "CMakeFiles/bench_ablation_completion.dir/bench_ablation_completion.cpp.o.d"
+  "bench_ablation_completion"
+  "bench_ablation_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

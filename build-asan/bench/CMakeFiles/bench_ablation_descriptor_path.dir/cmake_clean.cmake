@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_descriptor_path.dir/bench_ablation_descriptor_path.cpp.o"
+  "CMakeFiles/bench_ablation_descriptor_path.dir/bench_ablation_descriptor_path.cpp.o.d"
+  "bench_ablation_descriptor_path"
+  "bench_ablation_descriptor_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_descriptor_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interrupt.dir/bench_ablation_interrupt.cpp.o"
+  "CMakeFiles/bench_ablation_interrupt.dir/bench_ablation_interrupt.cpp.o.d"
+  "bench_ablation_interrupt"
+  "bench_ablation_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

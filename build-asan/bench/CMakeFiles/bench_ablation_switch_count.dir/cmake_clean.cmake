@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_switch_count.dir/bench_ablation_switch_count.cpp.o"
+  "CMakeFiles/bench_ablation_switch_count.dir/bench_ablation_switch_count.cpp.o.d"
+  "bench_ablation_switch_count"
+  "bench_ablation_switch_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_switch_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_perf.dir/bench_engine_perf.cpp.o"
+  "CMakeFiles/bench_engine_perf.dir/bench_engine_perf.cpp.o.d"
+  "bench_engine_perf"
+  "bench_engine_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_llp_post.dir/bench_fig04_llp_post.cpp.o"
+  "CMakeFiles/bench_fig04_llp_post.dir/bench_fig04_llp_post.cpp.o.d"
+  "bench_fig04_llp_post"
+  "bench_fig04_llp_post.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_llp_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

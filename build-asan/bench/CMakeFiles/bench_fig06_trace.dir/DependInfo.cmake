@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_trace.cpp" "bench/CMakeFiles/bench_fig06_trace.dir/bench_fig06_trace.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06_trace.dir/bench_fig06_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/benchlib/CMakeFiles/bb_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/bb_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/scenario/CMakeFiles/bb_scenario.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hlp/CMakeFiles/bb_hlp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/llp/CMakeFiles/bb_llp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nic/CMakeFiles/bb_nic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/bb_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prof/CMakeFiles/bb_prof.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/bb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pcie/CMakeFiles/bb_pcie.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/bb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_hlp.dir/bench_fig11_hlp.cpp.o"
+  "CMakeFiles/bench_fig11_hlp.dir/bench_fig11_hlp.cpp.o.d"
+  "bench_fig11_hlp"
+  "bench_fig11_hlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_hlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_overall_inj.dir/bench_fig12_overall_inj.cpp.o"
+  "CMakeFiles/bench_fig12_overall_inj.dir/bench_fig12_overall_inj.cpp.o.d"
+  "bench_fig12_overall_inj"
+  "bench_fig12_overall_inj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_overall_inj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

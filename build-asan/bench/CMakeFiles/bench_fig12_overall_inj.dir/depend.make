@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_overall_inj.
+# This may be replaced when dependencies are built.

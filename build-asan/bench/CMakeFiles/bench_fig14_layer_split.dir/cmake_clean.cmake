@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_layer_split.dir/bench_fig14_layer_split.cpp.o"
+  "CMakeFiles/bench_fig14_layer_split.dir/bench_fig14_layer_split.cpp.o.d"
+  "bench_fig14_layer_split"
+  "bench_fig14_layer_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_layer_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

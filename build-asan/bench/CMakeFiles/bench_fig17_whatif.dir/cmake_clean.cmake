@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_whatif.dir/bench_fig17_whatif.cpp.o"
+  "CMakeFiles/bench_fig17_whatif.dir/bench_fig17_whatif.cpp.o.d"
+  "bench_fig17_whatif"
+  "bench_fig17_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

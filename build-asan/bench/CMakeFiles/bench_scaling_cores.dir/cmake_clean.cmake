@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_cores.dir/bench_scaling_cores.cpp.o"
+  "CMakeFiles/bench_scaling_cores.dir/bench_scaling_cores.cpp.o.d"
+  "bench_scaling_cores"
+  "bench_scaling_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_msgsize.dir/bench_sweep_msgsize.cpp.o"
+  "CMakeFiles/bench_sweep_msgsize.dir/bench_sweep_msgsize.cpp.o.d"
+  "bench_sweep_msgsize"
+  "bench_sweep_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_protocol.dir/bench_sweep_protocol.cpp.o"
+  "CMakeFiles/bench_sweep_protocol.dir/bench_sweep_protocol.cpp.o.d"
+  "bench_sweep_protocol"
+  "bench_sweep_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

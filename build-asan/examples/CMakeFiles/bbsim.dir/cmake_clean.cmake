@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbsim.dir/bbsim.cpp.o"
+  "CMakeFiles/bbsim.dir/bbsim.cpp.o.d"
+  "bbsim"
+  "bbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_pipeline.dir/ring_pipeline.cpp.o"
+  "CMakeFiles/ring_pipeline.dir/ring_pipeline.cpp.o.d"
+  "ring_pipeline"
+  "ring_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_halo.dir/stencil_halo.cpp.o"
+  "CMakeFiles/stencil_halo.dir/stencil_halo.cpp.o.d"
+  "stencil_halo"
+  "stencil_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_benchlib.dir/am_lat.cpp.o"
+  "CMakeFiles/bb_benchlib.dir/am_lat.cpp.o.d"
+  "CMakeFiles/bb_benchlib.dir/osu.cpp.o"
+  "CMakeFiles/bb_benchlib.dir/osu.cpp.o.d"
+  "CMakeFiles/bb_benchlib.dir/put_bw.cpp.o"
+  "CMakeFiles/bb_benchlib.dir/put_bw.cpp.o.d"
+  "libbb_benchlib.a"
+  "libbb_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbb_benchlib.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_common.dir/rng.cpp.o"
+  "CMakeFiles/bb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bb_common.dir/stats.cpp.o"
+  "CMakeFiles/bb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bb_common.dir/table.cpp.o"
+  "CMakeFiles/bb_common.dir/table.cpp.o.d"
+  "CMakeFiles/bb_common.dir/units.cpp.o"
+  "CMakeFiles/bb_common.dir/units.cpp.o.d"
+  "libbb_common.a"
+  "libbb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

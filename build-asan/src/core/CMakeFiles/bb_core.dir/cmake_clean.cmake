@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_core.dir/analysis.cpp.o"
+  "CMakeFiles/bb_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/bb_core.dir/component_table.cpp.o"
+  "CMakeFiles/bb_core.dir/component_table.cpp.o.d"
+  "CMakeFiles/bb_core.dir/models.cpp.o"
+  "CMakeFiles/bb_core.dir/models.cpp.o.d"
+  "CMakeFiles/bb_core.dir/whatif.cpp.o"
+  "CMakeFiles/bb_core.dir/whatif.cpp.o.d"
+  "libbb_core.a"
+  "libbb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_cpu.dir/core.cpp.o"
+  "CMakeFiles/bb_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/bb_cpu.dir/memory.cpp.o"
+  "CMakeFiles/bb_cpu.dir/memory.cpp.o.d"
+  "libbb_cpu.a"
+  "libbb_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_hlp.dir/mpi.cpp.o"
+  "CMakeFiles/bb_hlp.dir/mpi.cpp.o.d"
+  "CMakeFiles/bb_hlp.dir/ucp.cpp.o"
+  "CMakeFiles/bb_hlp.dir/ucp.cpp.o.d"
+  "libbb_hlp.a"
+  "libbb_hlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_hlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

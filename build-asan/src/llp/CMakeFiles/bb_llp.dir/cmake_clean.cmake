@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_llp.dir/endpoint.cpp.o"
+  "CMakeFiles/bb_llp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/bb_llp.dir/worker.cpp.o"
+  "CMakeFiles/bb_llp.dir/worker.cpp.o.d"
+  "libbb_llp.a"
+  "libbb_llp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_llp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

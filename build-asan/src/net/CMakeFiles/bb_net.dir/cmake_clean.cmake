@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_net.dir/fabric.cpp.o"
+  "CMakeFiles/bb_net.dir/fabric.cpp.o.d"
+  "libbb_net.a"
+  "libbb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_nic.dir/nic.cpp.o"
+  "CMakeFiles/bb_nic.dir/nic.cpp.o.d"
+  "CMakeFiles/bb_nic.dir/queues.cpp.o"
+  "CMakeFiles/bb_nic.dir/queues.cpp.o.d"
+  "libbb_nic.a"
+  "libbb_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/credit.cpp" "src/pcie/CMakeFiles/bb_pcie.dir/credit.cpp.o" "gcc" "src/pcie/CMakeFiles/bb_pcie.dir/credit.cpp.o.d"
+  "/root/repo/src/pcie/link.cpp" "src/pcie/CMakeFiles/bb_pcie.dir/link.cpp.o" "gcc" "src/pcie/CMakeFiles/bb_pcie.dir/link.cpp.o.d"
+  "/root/repo/src/pcie/root_complex.cpp" "src/pcie/CMakeFiles/bb_pcie.dir/root_complex.cpp.o" "gcc" "src/pcie/CMakeFiles/bb_pcie.dir/root_complex.cpp.o.d"
+  "/root/repo/src/pcie/tlp.cpp" "src/pcie/CMakeFiles/bb_pcie.dir/tlp.cpp.o" "gcc" "src/pcie/CMakeFiles/bb_pcie.dir/tlp.cpp.o.d"
+  "/root/repo/src/pcie/trace.cpp" "src/pcie/CMakeFiles/bb_pcie.dir/trace.cpp.o" "gcc" "src/pcie/CMakeFiles/bb_pcie.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/bb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

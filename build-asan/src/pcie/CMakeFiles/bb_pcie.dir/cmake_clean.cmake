@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_pcie.dir/credit.cpp.o"
+  "CMakeFiles/bb_pcie.dir/credit.cpp.o.d"
+  "CMakeFiles/bb_pcie.dir/link.cpp.o"
+  "CMakeFiles/bb_pcie.dir/link.cpp.o.d"
+  "CMakeFiles/bb_pcie.dir/root_complex.cpp.o"
+  "CMakeFiles/bb_pcie.dir/root_complex.cpp.o.d"
+  "CMakeFiles/bb_pcie.dir/tlp.cpp.o"
+  "CMakeFiles/bb_pcie.dir/tlp.cpp.o.d"
+  "CMakeFiles/bb_pcie.dir/trace.cpp.o"
+  "CMakeFiles/bb_pcie.dir/trace.cpp.o.d"
+  "libbb_pcie.a"
+  "libbb_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_prof.dir/profiler.cpp.o"
+  "CMakeFiles/bb_prof.dir/profiler.cpp.o.d"
+  "libbb_prof.a"
+  "libbb_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

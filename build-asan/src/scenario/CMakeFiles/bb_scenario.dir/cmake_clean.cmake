@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_scenario.dir/cluster.cpp.o"
+  "CMakeFiles/bb_scenario.dir/cluster.cpp.o.d"
+  "CMakeFiles/bb_scenario.dir/config.cpp.o"
+  "CMakeFiles/bb_scenario.dir/config.cpp.o.d"
+  "CMakeFiles/bb_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/bb_scenario.dir/testbed.cpp.o.d"
+  "libbb_scenario.a"
+  "libbb_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

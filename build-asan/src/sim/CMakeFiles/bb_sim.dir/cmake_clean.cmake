@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_sim.dir/pool.cpp.o"
+  "CMakeFiles/bb_sim.dir/pool.cpp.o.d"
+  "CMakeFiles/bb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bb_sim.dir/simulator.cpp.o.d"
+  "libbb_sim.a"
+  "libbb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("cpu")
+subdirs("prof")
+subdirs("pcie")
+subdirs("net")
+subdirs("nic")
+subdirs("llp")
+subdirs("hlp")
+subdirs("core")
+subdirs("benchlib")
+subdirs("property")
+subdirs("scenario")
+subdirs("integration")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchlib.dir/am_lat_test.cpp.o"
+  "CMakeFiles/test_benchlib.dir/am_lat_test.cpp.o.d"
+  "CMakeFiles/test_benchlib.dir/osu_test.cpp.o"
+  "CMakeFiles/test_benchlib.dir/osu_test.cpp.o.d"
+  "CMakeFiles/test_benchlib.dir/put_bw_test.cpp.o"
+  "CMakeFiles/test_benchlib.dir/put_bw_test.cpp.o.d"
+  "test_benchlib"
+  "test_benchlib.pdb"
+  "test_benchlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_test.cpp" "tests/core/CMakeFiles/test_core.dir/analysis_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/core/breakdown_render_test.cpp" "tests/core/CMakeFiles/test_core.dir/breakdown_render_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/breakdown_render_test.cpp.o.d"
+  "/root/repo/tests/core/component_table_test.cpp" "tests/core/CMakeFiles/test_core.dir/component_table_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/component_table_test.cpp.o.d"
+  "/root/repo/tests/core/models_test.cpp" "tests/core/CMakeFiles/test_core.dir/models_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/models_test.cpp.o.d"
+  "/root/repo/tests/core/whatif_test.cpp" "tests/core/CMakeFiles/test_core.dir/whatif_test.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/whatif_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/bb_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/benchlib/CMakeFiles/bb_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/scenario/CMakeFiles/bb_scenario.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hlp/CMakeFiles/bb_hlp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/llp/CMakeFiles/bb_llp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nic/CMakeFiles/bb_nic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/bb_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pcie/CMakeFiles/bb_pcie.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/prof/CMakeFiles/bb_prof.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/bb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/bb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/analysis_test.cpp.o"
+  "CMakeFiles/test_core.dir/analysis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/breakdown_render_test.cpp.o"
+  "CMakeFiles/test_core.dir/breakdown_render_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/component_table_test.cpp.o"
+  "CMakeFiles/test_core.dir/component_table_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/models_test.cpp.o"
+  "CMakeFiles/test_core.dir/models_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/whatif_test.cpp.o"
+  "CMakeFiles/test_core.dir/whatif_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlp.dir/mpi_test.cpp.o"
+  "CMakeFiles/test_hlp.dir/mpi_test.cpp.o.d"
+  "CMakeFiles/test_hlp.dir/rndv_test.cpp.o"
+  "CMakeFiles/test_hlp.dir/rndv_test.cpp.o.d"
+  "CMakeFiles/test_hlp.dir/ucp_test.cpp.o"
+  "CMakeFiles/test_hlp.dir/ucp_test.cpp.o.d"
+  "CMakeFiles/test_hlp.dir/wrap_test.cpp.o"
+  "CMakeFiles/test_hlp.dir/wrap_test.cpp.o.d"
+  "test_hlp"
+  "test_hlp.pdb"
+  "test_hlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

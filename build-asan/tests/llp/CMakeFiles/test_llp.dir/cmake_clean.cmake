@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llp.dir/endpoint_test.cpp.o"
+  "CMakeFiles/test_llp.dir/endpoint_test.cpp.o.d"
+  "CMakeFiles/test_llp.dir/worker_test.cpp.o"
+  "CMakeFiles/test_llp.dir/worker_test.cpp.o.d"
+  "test_llp"
+  "test_llp.pdb"
+  "test_llp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

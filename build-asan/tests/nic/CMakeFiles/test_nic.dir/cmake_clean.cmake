@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic.dir/nic_test.cpp.o"
+  "CMakeFiles/test_nic.dir/nic_test.cpp.o.d"
+  "CMakeFiles/test_nic.dir/queues_test.cpp.o"
+  "CMakeFiles/test_nic.dir/queues_test.cpp.o.d"
+  "test_nic"
+  "test_nic.pdb"
+  "test_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pcie
+# Build directory: /root/repo/build-asan/tests/pcie
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/pcie/test_pcie[1]_include.cmake")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prof/profiler_test.cpp" "tests/prof/CMakeFiles/test_prof.dir/profiler_test.cpp.o" "gcc" "tests/prof/CMakeFiles/test_prof.dir/profiler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/prof/CMakeFiles/bb_prof.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/bb_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/bb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/bb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prof.dir/profiler_test.cpp.o"
+  "CMakeFiles/test_prof.dir/profiler_test.cpp.o.d"
+  "test_prof"
+  "test_prof.pdb"
+  "test_prof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

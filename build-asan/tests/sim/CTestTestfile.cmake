@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build-asan/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/sim/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim/test_sim_engine[1]_include.cmake")
