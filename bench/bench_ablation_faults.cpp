@@ -1,0 +1,200 @@
+// Ablation: fault injection & recovery (docs/FAULTS.md). Sweeps a BER-style
+// fault rate across the PCIe links of both nodes and reports its cost on
+// the paper's two primary microbenchmarks: am_lat latency (§4.3) and the
+// put_bw message-rate loop (§4.2). Three properties are validated:
+//
+//  1. rate -> 0 reproduces the error-free numbers bit-for-bit (event
+//     count, final simulated time, analyzer-trace checksum);
+//  2. conservation: every injected fault is matched by a recovery action,
+//     replay buffers drain to empty, and each link delivers exactly the
+//     TLPs it accepted (no silent loss, no duplicates, no hangs);
+//  3. the terminal path: a TLP that can never pass its link is forwarded
+//     poisoned and retired with a completion-with-error at the endpoint.
+
+#include <cstdint>
+#include <cstdio>
+#include <tuple>
+
+#include "benchlib/am_lat.hpp"
+#include "benchlib/put_bw.hpp"
+#include "fault/fault.hpp"
+#include "pcie/trace.hpp"
+#include "scenario/testbed.hpp"
+#include "util.hpp"
+
+using namespace bb;
+
+namespace {
+
+// FNV-1a over the analyzer trace (the determinism-golden mix).
+std::uint64_t trace_checksum(const pcie::Trace& tr) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& r : tr.records()) {
+    mix(static_cast<std::uint64_t>(r.t.ps()));
+    mix(static_cast<std::uint64_t>(r.dir));
+    mix(static_cast<std::uint64_t>(r.is_dllp));
+    mix(static_cast<std::uint64_t>(r.tlp_type));
+    mix(static_cast<std::uint64_t>(r.dllp_type));
+    mix(r.bytes);
+    mix(r.tag);
+    mix(r.msg_id);
+    for (char c : r.kind) {
+      mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+  }
+  return h;
+}
+
+// The sweep perturbs every modelled fault class, not just TLP corruption:
+// drops exercise the replay timer, Ack losses the duplicate filter, and
+// UpdateFC losses the credit re-emission path.
+fault::FaultConfig storm(double ber) {
+  fault::FaultConfig f;
+  f.tlp_corrupt_prob = ber;
+  f.tlp_drop_prob = ber / 2.0;
+  f.ack_drop_prob = ber / 2.0;
+  f.updatefc_drop_prob = ber / 2.0;
+  return f;
+}
+
+struct SweepRow {
+  double ber = 0.0;
+  double lat_ns = 0.0;
+  double rate_mps = 0.0;
+  fault::FaultStats fs;
+  bool conserved = true;
+};
+
+// Conservation at quiescence: replay buffers empty and exactly-once,
+// in-order delivery on both links.
+bool conserved(scenario::Testbed& tb) {
+  bool ok = true;
+  for (int n = 0; n < 2; ++n) {
+    ok = ok && tb.node(n).link.replay_buffer_depth() == 0;
+    ok = ok && tb.node(n).link.tlps_delivered() == tb.node(n).link.tlps_accepted();
+  }
+  return ok;
+}
+
+SweepRow run_at(double ber) {
+  SweepRow row;
+  row.ber = ber;
+  const scenario::SystemConfig cfg =
+      scenario::presets::thunderx2_cx4().with(scenario::overlays::faults(storm(ber)));
+  {
+    scenario::Testbed tb(cfg);
+    bench::AmLatBenchmark b(
+        tb, {.iterations = 300, .warmup = 30, .capture_trace = false});
+    row.lat_ns = b.run().adjusted_mean_ns;
+    row.fs.merge(tb.fault_stats());
+    row.conserved = conserved(tb);
+  }
+  {
+    scenario::Testbed tb(cfg);
+    bench::PutBwBenchmark b(
+        tb, {.messages = 2000, .warmup = 200, .capture_trace = false});
+    row.rate_mps = b.run().message_rate() / 1e6;
+    row.fs.merge(tb.fault_stats());
+    row.conserved = row.conserved && conserved(tb);
+  }
+  return row;
+}
+
+std::tuple<std::uint64_t, std::int64_t, std::uint64_t> fingerprint(
+    const scenario::SystemConfig& cfg) {
+  scenario::Testbed tb(cfg);
+  bench::AmLatBenchmark b(
+      tb, {.iterations = 200, .warmup = 20, .capture_trace = true});
+  (void)b.run();
+  return {tb.sim().events_processed(), tb.sim().now().ps(),
+          trace_checksum(tb.analyzer().trace())};
+}
+
+}  // namespace
+
+int main() {
+  bbench::header("bench_ablation_faults -- fault-rate sweep & recovery audit",
+                 "fault/recovery extension (docs/FAULTS.md; beyond the paper)");
+  bbench::Validator v;
+
+  // -- 1. rate -> 0 is bit-identical to the error-free baseline ----------
+  const auto base = fingerprint(scenario::presets::thunderx2_cx4());
+  const auto zero = fingerprint(
+      scenario::presets::thunderx2_cx4().with(scenario::overlays::faults(0.0)));
+  std::printf("rate->0 fingerprint: events %llu / %llu, trace %016llx / %016llx\n\n",
+              static_cast<unsigned long long>(std::get<0>(base)),
+              static_cast<unsigned long long>(std::get<0>(zero)),
+              static_cast<unsigned long long>(std::get<2>(base)),
+              static_cast<unsigned long long>(std::get<2>(zero)));
+  v.is_true("fault-rate->0 reproduces the error-free run bit-for-bit",
+            base == zero);
+
+  // -- 2. BER sweep: latency + message rate vs fault rate ----------------
+  std::printf("%-10s %12s %12s %10s %9s %9s %9s %9s\n", "ber", "am_lat ns",
+              "put_bw M/s", "injected", "replays", "fc-reem", "dup-drop",
+              "poisoned");
+  SweepRow at0, at_max;
+  for (double ber : {0.0, 1e-4, 1e-3, 1e-2}) {
+    const SweepRow r = run_at(ber);
+    std::printf("%-10.0e %12.2f %12.2f %10llu %9llu %9llu %9llu %9llu\n",
+                r.ber, r.lat_ns, r.rate_mps,
+                static_cast<unsigned long long>(r.fs.injected()),
+                static_cast<unsigned long long>(r.fs.replays),
+                static_cast<unsigned long long>(r.fs.fc_reemissions),
+                static_cast<unsigned long long>(r.fs.duplicates_dropped),
+                static_cast<unsigned long long>(r.fs.poisoned_tlps));
+    if (ber == 0.0) at0 = r;
+    if (ber == 1e-2) at_max = r;
+
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "ber %.0e", ber);
+    v.is_true(std::string(tag) + ": replay buffers drained, links delivered "
+                                 "exactly what they accepted",
+              r.conserved);
+    if (ber == 0.0) {
+      v.is_true("ber 0: nothing injected", r.fs.injected() == 0);
+    } else {
+      v.is_true(std::string(tag) + ": faults injected and recovered",
+                r.fs.injected() > 0 && r.fs.recovered() > 0);
+      // Lost UpdateFCs are each re-emitted exactly once (cumulative
+      // counters make the re-emission idempotent, never compounding).
+      v.is_true(std::string(tag) + ": every lost UpdateFC re-emitted",
+                r.fs.fc_reemissions == r.fs.updatefc_dropped);
+    }
+  }
+  v.is_true("faults cost latency (am_lat at ber 1e-2 slower than error-free)",
+            at_max.lat_ns > at0.lat_ns);
+
+  // -- 3. terminal path: exhausted replay budget -> error CQE ------------
+  {
+    fault::FaultConfig f;
+    f.max_replays = 1;
+    f.scheduled.push_back(
+        {fault::OneShot::Kind::kKillTlp, fault::LinkDir::kDownstream, 1});
+    scenario::Testbed tb(scenario::presets::thunderx2_cx4().with(f));
+    llp::Endpoint& ep = tb.add_endpoint(0);
+    auto driver = [](scenario::Testbed& t,
+                     llp::Endpoint& e) -> sim::Task<void> {
+      (void)co_await e.am_short(8);
+      while (e.tx_errors() == 0 && t.sim().now().to_ns() < 1e6) {
+        (void)co_await t.node(0).worker.progress();
+      }
+    };
+    tb.sim().spawn(driver(tb, ep), "error-cqe-driver");
+    tb.sim().run();
+    std::printf("\n%s\n", tb.fault_report().c_str());
+    const fault::FaultStats fs = tb.fault_stats();
+    v.is_true("killed TLP forwarded poisoned and retired as an error CQE",
+              ep.tx_errors() == 1 && fs.poisoned_tlps == 1 &&
+                  fs.error_cqes == 1 && fs.poisoned_delivered == 0);
+    v.is_true("no op left hanging after the error", ep.outstanding() == 0);
+  }
+
+  return v.finish();
+}

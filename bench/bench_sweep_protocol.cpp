@@ -43,8 +43,8 @@ double one_way_ns(std::uint32_t bytes, std::uint32_t rndv_threshold) {
                     double& res) -> sim::Task<void> {
     const double t0 = core.virtual_now().to_ns();
     for (int i = 0; i < kIters; ++i) {
-      hlp::Request* rr = mpi.irecv(n);
-      hlp::Request* s = co_await mpi.isend(n);
+      hlp::Request* rr = mpi.irecv(n).value();
+      hlp::Request* s = (co_await mpi.isend(n)).value();
       co_await mpi.wait(s);
       co_await mpi.wait(rr);
     }
@@ -52,9 +52,9 @@ double one_way_ns(std::uint32_t bytes, std::uint32_t rndv_threshold) {
   }(mpi_a, tb.node(0).core, bytes, out));
   tb.sim().spawn([](hlp::MpiComm& mpi, std::uint32_t n) -> sim::Task<void> {
     for (int i = 0; i < kIters; ++i) {
-      hlp::Request* rr = mpi.irecv(n);
+      hlp::Request* rr = mpi.irecv(n).value();
       co_await mpi.wait(rr);
-      hlp::Request* s = co_await mpi.isend(n);
+      hlp::Request* s = (co_await mpi.isend(n)).value();
       co_await mpi.wait(s);
     }
   }(mpi_b, bytes));

@@ -183,7 +183,7 @@ HlpMeasurement measure_hlp() {
     }(tb, tx, until));
     tb.sim().spawn([](Testbed& t, MpiStack& st, auto sync) -> sim::Task<void> {
       for (int i = 0; i < kIters; ++i) {
-        hlp::Request* r = st.mpi().irecv(8);
+        hlp::Request* r = st.mpi().irecv(8).value();
         co_await st.node().core.flush();
         co_await sync(t, kPeriod * i + 5_us);
         co_await st.mpi().wait(r);
@@ -215,7 +215,7 @@ HlpMeasurement measure_hlp() {
     tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
       std::vector<hlp::Request*> reqs;
       for (int i = 0; i < kIters; ++i) {
-        reqs.push_back(co_await st.mpi().isend(8));
+        reqs.push_back((co_await st.mpi().isend(8)).value());
         if (i % 32 == 31) {
           co_await st.mpi().waitall(reqs);
           reqs.clear();

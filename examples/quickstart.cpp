@@ -34,7 +34,7 @@ int main() {
     done = s.node().core.virtual_now().to_ns();
   }(sender, send_done_ns));
   tb.sim().spawn([](MpiStack& r, double& done) -> sim::Task<void> {
-    hlp::Request* req = r.mpi().irecv(8);
+    hlp::Request* req = r.mpi().irecv(8).value();
     co_await r.mpi().wait(req);
     done = r.node().core.virtual_now().to_ns();
   }(receiver, recv_done_ns));

@@ -37,10 +37,10 @@ sim::Task<void> rank(Testbed& tb, MpiStack& st, double* per_iter_us) {
     // Post receives for the neighbour's halo, send ours, then wait.
     std::vector<hlp::Request*> recvs, sends;
     for (int c = 0; c < kHaloCells; ++c) {
-      recvs.push_back(st.mpi().irecv(8));
+      recvs.push_back(st.mpi().irecv(8).value());
     }
     for (int c = 0; c < kHaloCells; ++c) {
-      sends.push_back(co_await st.mpi().isend(8));
+      sends.push_back((co_await st.mpi().isend(8)).value());
     }
     co_await st.mpi().waitall(sends);
     for (hlp::Request* r : recvs) {

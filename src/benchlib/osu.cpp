@@ -24,7 +24,7 @@ sim::Task<void> OsuMessageRate::driver() {
     reqs.clear();
     reqs.reserve(cfg_.window_size);
     for (std::uint32_t i = 0; i < cfg_.window_size; ++i) {
-      reqs.push_back(co_await stack_.mpi().isend(cfg_.bytes));
+      reqs.push_back((co_await stack_.mpi().isend(cfg_.bytes)).value());
     }
     core.consume(core.costs().loop_hiccup);
     co_await stack_.mpi().waitall(reqs);
@@ -72,7 +72,7 @@ sim::Task<void> OsuLatency::initiator() {
 
   for (std::uint64_t i = 0; i < cfg_.warmup + cfg_.iterations; ++i) {
     const double t0 = core.virtual_now().to_ns();
-    hlp::Request* rr = a_.mpi().irecv(cfg_.bytes);
+    hlp::Request* rr = a_.mpi().irecv(cfg_.bytes).value();
     (void)co_await a_.mpi().isend(cfg_.bytes);
     co_await a_.mpi().wait(rr);
     core.consume(core.costs().timer_read);  // per-iteration timing
@@ -90,7 +90,7 @@ sim::Task<void> OsuLatency::responder() {
   b_.node().profiler.set_enabled(false);
 
   for (std::uint64_t i = 0; i < cfg_.warmup + cfg_.iterations; ++i) {
-    hlp::Request* rr = b_.mpi().irecv(cfg_.bytes);
+    hlp::Request* rr = b_.mpi().irecv(cfg_.bytes).value();
     co_await b_.mpi().wait(rr);
     (void)co_await b_.mpi().isend(cfg_.bytes);
     co_await core.flush();

@@ -15,7 +15,7 @@ MpiComm::MpiComm(UcpWorker& ucp) : ucp_(ucp) {
   });
 }
 
-sim::Task<Request*> MpiComm::isend(std::uint32_t bytes) {
+sim::Task<common::Expected<Request*>> MpiComm::isend(std::uint32_t bytes) {
   cpu::Core& c = core();
   prof::Profiler* prof = ucp_.profiler();
   prof::Profiler::Region r_mpi, r_ucp;
@@ -27,7 +27,7 @@ sim::Task<Request*> MpiComm::isend(std::uint32_t bytes) {
   if (prof && wrap_ == "ucp_tag_send_nb") {
     r_ucp = prof->begin("ucp_tag_send_nb");
   }
-  Request* req = co_await ucp_.tag_send_nb(bytes);
+  common::Expected<Request*> req = co_await ucp_.tag_send_nb(bytes);
   if (prof && wrap_ == "ucp_tag_send_nb") prof->end(r_ucp);
 
   if (prof && wrap_ == "MPI_Isend") prof->end(r_mpi);
@@ -35,7 +35,7 @@ sim::Task<Request*> MpiComm::isend(std::uint32_t bytes) {
   co_return req;
 }
 
-Request* MpiComm::irecv(std::uint32_t bytes) {
+common::Expected<Request*> MpiComm::irecv(std::uint32_t bytes) {
   // Receive initiation; its time is assumed to overlap the transfer (§6),
   // which holds in the simulation because the receive is posted before
   // the message is in flight. Charged as the same initiation path.
@@ -44,7 +44,7 @@ Request* MpiComm::irecv(std::uint32_t bytes) {
   return ucp_.tag_recv_nb(bytes);
 }
 
-sim::Task<void> MpiComm::wait(Request* req) {
+sim::Task<common::Status> MpiComm::wait(Request* req) {
   cpu::Core& c = core();
   prof::Profiler* prof = ucp_.profiler();
   prof::Profiler::Region r_wait;
@@ -69,9 +69,10 @@ sim::Task<void> MpiComm::wait(Request* req) {
   if (prof && wrap_ == "MPI_Wait") prof->end(r_wait);
   ++waits_;
   co_await c.flush();
+  co_return req->status;
 }
 
-sim::Task<void> MpiComm::waitall(const std::vector<Request*>& reqs) {
+sim::Task<common::Status> MpiComm::waitall(const std::vector<Request*>& reqs) {
   cpu::Core& c = core();
   // Per-operation send-progress bookkeeping (HLP_tx_prog): request
   // inspection and cleanup across the window (§6, Post_prog).
@@ -90,6 +91,10 @@ sim::Task<void> MpiComm::waitall(const std::vector<Request*>& reqs) {
     co_await ucp_.progress();
   }
   co_await c.flush();
+  for (Request* r : reqs) {
+    if (r->status != common::Status::kOk) co_return r->status;
+  }
+  co_return common::Status::kOk;
 }
 
 }  // namespace bb::hlp

@@ -27,13 +27,15 @@ class MpiComm {
   cpu::Core& core() { return ucp_.core(); }
 
   /// MPI_Isend of `bytes` to the peer.
-  sim::Task<Request*> isend(std::uint32_t bytes);
+  sim::Task<common::Expected<Request*>> isend(std::uint32_t bytes);
   /// MPI_Irecv of `bytes` from the peer.
-  Request* irecv(std::uint32_t bytes);
-  /// Blocking MPI_Wait for one request.
-  sim::Task<void> wait(Request* req);
-  /// MPI_Waitall over a window of requests.
-  sim::Task<void> waitall(const std::vector<Request*>& reqs);
+  common::Expected<Request*> irecv(std::uint32_t bytes);
+  /// Blocking MPI_Wait for one request; returns the request's final
+  /// disposition (kIoError when it was retired by an error completion).
+  sim::Task<common::Status> wait(Request* req);
+  /// MPI_Waitall over a window of requests; returns kOk or the first
+  /// non-OK request status in window order.
+  sim::Task<common::Status> waitall(const std::vector<Request*>& reqs);
 
   /// Profiler wrap point (one region at a time, §3): one of
   /// {"MPI_Isend", "ucp_tag_send_nb", "MPI_Wait", "MPICH after progress"}.

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/status.hpp"
+
 namespace bb::hlp {
 
 struct Request {
@@ -11,6 +13,9 @@ struct Request {
   Kind kind = Kind::kSend;
   std::uint32_t bytes = 0;
   bool complete = false;
+  /// Final disposition: kOk, or kIoError when the operation was retired
+  /// by a completion-with-error after exhausted link-level recovery.
+  common::Status status = common::Status::kOk;
   /// Send only: posted to the transport but waiting in the UCP pending
   /// queue after a busy post (§6: "UCP schedules the successful execution
   /// of LLP_post for busy posts during the progress of operations").

@@ -21,19 +21,19 @@ Request* UcpWorker::new_request(Request::Kind kind, std::uint32_t bytes) {
   return p;
 }
 
-sim::Task<bool> UcpWorker::try_post(Request* req) {
+sim::Task<common::Status> UcpWorker::try_post(Request* req) {
   const llp::Status st = co_await endpoint_.am_short(req->bytes);
   if (st == llp::Status::kOk) {
     // Inlined short send: locally complete once the payload left the CPU.
     req->pending = false;
     req->complete = true;
     ++sends_completed_;
-    co_return true;
   }
-  co_return false;
+  co_return st;
 }
 
-sim::Task<Request*> UcpWorker::tag_send_nb(std::uint32_t bytes) {
+sim::Task<common::Expected<Request*>> UcpWorker::tag_send_nb(
+    std::uint32_t bytes) {
   cpu::Core& c = core();
   c.consume(c.costs().ucp_isend);
   Request* req = new_request(Request::Kind::kSend, bytes);
@@ -48,7 +48,8 @@ sim::Task<Request*> UcpWorker::tag_send_nb(std::uint32_t bytes) {
     co_return req;
   }
 
-  if (!pending_sends_.empty() || !co_await try_post(req)) {
+  if (!pending_sends_.empty() ||
+      co_await try_post(req) != common::Status::kOk) {
     // Preserve ordering: once anything pends, later sends pend too.
     req->pending = true;
     pending_sends_.push_back(req);
@@ -56,7 +57,7 @@ sim::Task<Request*> UcpWorker::tag_send_nb(std::uint32_t bytes) {
   co_return req;
 }
 
-void UcpWorker::complete_recv(Request* req) {
+void UcpWorker::complete_recv(Request* req, common::Status st) {
   cpu::Core& c = core();
   prof::Profiler* prof = uct_worker_.profiler();
 
@@ -65,6 +66,7 @@ void UcpWorker::complete_recv(Request* req) {
   if (prof && wrap_ == "UCP callback") r1 = prof->begin("UCP callback");
   c.consume(c.costs().ucp_rx_callback);
   req->complete = true;
+  req->status = st;
   ++recvs_completed_;
   if (prof && wrap_ == "UCP callback") prof->end(r1);
 
@@ -72,12 +74,13 @@ void UcpWorker::complete_recv(Request* req) {
   if (upper_rx_cb_) upper_rx_cb_(req);
 }
 
-Request* UcpWorker::tag_recv_nb(std::uint32_t bytes) {
+common::Expected<Request*> UcpWorker::tag_recv_nb(std::uint32_t bytes) {
   Request* req = new_request(Request::Kind::kRecv, bytes);
   if (!unexpected_.empty()) {
     // Unexpected eager message: the payload already landed.
+    const common::Status st = unexpected_.front().status;
     unexpected_.pop_front();
-    complete_recv(req);
+    complete_recv(req, st);
     return req;
   }
   if (!unexpected_rts_.empty()) {
@@ -101,7 +104,7 @@ void UcpWorker::on_rx_completion(const nic::Cqe& cqe) {
       }
       Request* req = posted_recvs_.front();
       posted_recvs_.pop_front();
-      complete_recv(req);
+      complete_recv(req, cqe.status);
       return;
     }
     case Ctrl::kRts: {
@@ -133,7 +136,7 @@ void UcpWorker::on_rx_completion(const nic::Cqe& cqe) {
       BB_ASSERT_MSG(it != rndv_rx_waiting_.end(), "FIN for unknown rndv op");
       Request* req = it->second;
       rndv_rx_waiting_.erase(it);
-      complete_recv(req);
+      complete_recv(req, cqe.status);
       return;
     }
   }
@@ -183,7 +186,7 @@ sim::Task<std::uint32_t> UcpWorker::progress() {
   // Retry pending sends (busy posts rescheduled by UCP, §6).
   while (!pending_sends_.empty()) {
     Request* req = pending_sends_.front();
-    if (!co_await try_post(req)) break;
+    if (co_await try_post(req) != common::Status::kOk) break;
     pending_sends_.pop_front();
   }
 

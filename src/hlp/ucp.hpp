@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "common/status.hpp"
 #include "cpu/core.hpp"
 #include "hlp/request.hpp"
 #include "llp/endpoint.hpp"
@@ -53,13 +54,15 @@ class UcpWorker {
   }
 
   /// ucp_tag_send_nb: consumes the UCP initiation cost, then executes the
-  /// LLP post (or pends the request on a busy post).
-  sim::Task<Request*> tag_send_nb(std::uint32_t bytes);
+  /// LLP post (or pends the request on a busy post). Returns the tracking
+  /// request; initiation itself cannot fail (busy posts pend), so the
+  /// Expected is the unified convention, not a present error path.
+  sim::Task<common::Expected<Request*>> tag_send_nb(std::uint32_t bytes);
 
   /// ucp_tag_recv_nb: posts a receive into the matching engine. Costless
   /// relative to the paper's model (receive initiation is assumed to
   /// overlap, §6); matching costs are charged at completion time.
-  Request* tag_recv_nb(std::uint32_t bytes);
+  common::Expected<Request*> tag_recv_nb(std::uint32_t bytes);
 
   /// ucp_worker_progress: one pass. Retries pending sends, then drives
   /// uct_worker_progress; completion callbacks run inside. Returns the
@@ -91,9 +94,11 @@ class UcpWorker {
   }
 
   void on_rx_completion(const nic::Cqe& cqe);
-  sim::Task<bool> try_post(Request* req);
-  /// Completes a receive through the registered callback chain.
-  void complete_recv(Request* req);
+  sim::Task<common::Status> try_post(Request* req);
+  /// Completes a receive through the registered callback chain,
+  /// propagating the transport status into the request.
+  void complete_recv(Request* req,
+                     common::Status st = common::Status::kOk);
   /// Drives queued control messages and rendezvous data transfers.
   sim::Task<void> progress_rndv();
 

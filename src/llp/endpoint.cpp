@@ -1,5 +1,7 @@
 #include "llp/endpoint.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace bb::llp {
@@ -25,6 +27,36 @@ sim::Task<Status> Endpoint::put_short(std::uint32_t bytes) {
 sim::Task<Status> Endpoint::am_short(std::uint32_t bytes,
                                      std::uint64_t user_data) {
   return post(pcie::WireOp::kSend, bytes, /*force_signal=*/false, user_data);
+}
+
+sim::Task<Status> Endpoint::put_short_retry(std::uint32_t bytes) {
+  return post_retrying(pcie::WireOp::kRdmaWrite, bytes, 0);
+}
+
+sim::Task<Status> Endpoint::am_short_retry(std::uint32_t bytes,
+                                           std::uint64_t user_data) {
+  return post_retrying(pcie::WireOp::kSend, bytes, user_data);
+}
+
+sim::Task<Status> Endpoint::post_retrying(pcie::WireOp op, std::uint32_t bytes,
+                                          std::uint64_t user_data) {
+  // Exponential backoff between fruitless progress passes: under faults
+  // the freeing CQE waits on a replay timer, so spinning at poll speed
+  // would charge millions of empty passes to the core.
+  double backoff_ns = 0.0;
+  for (;;) {
+    const Status st = co_await post(op, bytes, /*force_signal=*/false,
+                                    user_data);
+    if (st != Status::kNoResource) co_return st;
+    worker_.note_busy_post_retry();
+    const std::uint32_t progressed = co_await worker_.progress();
+    if (progressed > 0) {
+      backoff_ns = 0.0;
+      continue;
+    }
+    backoff_ns = backoff_ns == 0.0 ? 50.0 : std::min(backoff_ns * 2.0, 4000.0);
+    co_await worker_.core().simulator().delay(TimePs::from_ns(backoff_ns));
+  }
 }
 
 sim::Task<Status> Endpoint::flush() {
@@ -134,6 +166,7 @@ void Endpoint::on_tx_cqe(const nic::Cqe& cqe) {
   BB_ASSERT_MSG(outstanding_ >= cqe.completes,
                 "CQE retired more ops than outstanding");
   outstanding_ -= cqe.completes;
+  if (cqe.status != Status::kOk) ++tx_errors_;
   if (tx_retire_) tx_retire_(cqe.completes);
 }
 

@@ -61,6 +61,14 @@ class Endpoint {
   /// headers ride here).
   sim::Task<Status> am_short(std::uint32_t bytes,
                              std::uint64_t user_data = 0);
+  /// Fault-tolerant variants: retry busy posts, progressing the worker
+  /// between attempts with exponential backoff while no completion
+  /// arrives (under faults a CQE may be thousands of ns away -- §replay
+  /// timer -- and spinning would melt the simulated core). Returns kOk
+  /// once posted; completions may still retire with kIoError later.
+  sim::Task<Status> put_short_retry(std::uint32_t bytes);
+  sim::Task<Status> am_short_retry(std::uint32_t bytes,
+                                   std::uint64_t user_data = 0);
   /// Posts a zero-byte *signalled* no-op whose CQE retires every
   /// unsignalled predecessor -- the uct_ep_flush equivalent needed to
   /// drain a moderated queue whose op count is not a multiple of the
@@ -71,6 +79,8 @@ class Endpoint {
   std::uint32_t outstanding() const { return outstanding_; }
   std::uint64_t posted() const { return posted_; }
   std::uint64_t busy_posts() const { return busy_posts_; }
+  /// Ops retired by a completion-with-error (fault path).
+  std::uint64_t tx_errors() const { return tx_errors_; }
 
   /// Invoked by the worker when a TX CQE retires `k` ops (upper layers
   /// hook their send-progress accounting here).
@@ -85,6 +95,8 @@ class Endpoint {
   sim::Task<Status> post(pcie::WireOp op, std::uint32_t bytes,
                          bool force_signal = false,
                          std::uint64_t user_data = 0);
+  sim::Task<Status> post_retrying(pcie::WireOp op, std::uint32_t bytes,
+                                  std::uint64_t user_data);
 
   Worker& worker_;
   pcie::RootComplex& rc_;
@@ -92,6 +104,7 @@ class Endpoint {
   std::uint32_t outstanding_ = 0;
   std::uint64_t posted_ = 0;
   std::uint64_t busy_posts_ = 0;
+  std::uint64_t tx_errors_ = 0;
   std::uint64_t signal_counter_ = 0;
   std::uint64_t doorbell_counter_ = 0;
   std::uint64_t next_payload_addr_ = 0x1000;

@@ -31,6 +31,7 @@ sim::Task<std::uint32_t> Worker::progress(std::uint32_t max_completions) {
       core_.consume(costs.llp_prog);
       if (wrap_prog) profiler_->end(r);
       ++rx_completions_;
+      if (cqe->status != common::Status::kOk) ++error_completions_;
       ++n;
       found = true;
       if (rx_handler_) rx_handler_(*cqe);
@@ -45,6 +46,7 @@ sim::Task<std::uint32_t> Worker::progress(std::uint32_t max_completions) {
         if (wrap_prog) profiler_->end(r);
         ++tx_cqes_polled_;
         tx_ops_retired_ += cqe->completes;
+        if (cqe->status != common::Status::kOk) ++error_completions_;
         ++n;
         found = true;
         ep->on_tx_cqe(*cqe);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cpu/core.hpp"
+#include "fault/fault.hpp"
 #include "nic/queues.hpp"
 #include "prof/profiler.hpp"
 #include "sim/task.hpp"
@@ -62,6 +63,15 @@ class Worker {
   std::uint64_t tx_cqes_polled() const { return tx_cqes_polled_; }
   std::uint64_t tx_ops_retired() const { return tx_ops_retired_; }
   std::uint64_t rx_completions() const { return rx_completions_; }
+  /// Completions-with-error surfaced through this worker (fault path).
+  std::uint64_t error_completions() const { return error_completions_; }
+
+  /// Shared fault-stat accumulator (wired by the testbed when fault
+  /// injection is enabled).
+  void set_fault_stats(fault::FaultStats* s) { fault_stats_ = s; }
+  void note_busy_post_retry() {
+    if (fault_stats_) ++fault_stats_->busy_post_retries;
+  }
 
  private:
   cpu::Core& core_;
@@ -74,6 +84,8 @@ class Worker {
   std::uint64_t tx_cqes_polled_ = 0;
   std::uint64_t tx_ops_retired_ = 0;
   std::uint64_t rx_completions_ = 0;
+  std::uint64_t error_completions_ = 0;
+  fault::FaultStats* fault_stats_ = nullptr;
 };
 
 }  // namespace bb::llp

@@ -29,9 +29,17 @@ void Nic::on_downstream_tlp(const pcie::Tlp& tlp) {
   // Return flow-control credits to the Root Complex for every processed
   // downstream TLP (the counterpart of the RC's UpdateFC for upstream
   // traffic). Without this the RC's posted-credit pool drains permanently
-  // after ~64 posts and injection stalls.
+  // after ~64 posts and injection stalls. Cumulative totals keep the
+  // release idempotent under fault-recovery re-emission.
   if (tlp.type != pcie::TlpType::kCompletionData) {
-    link_.send_dllp_upstream(pcie::CreditState::release_for(tlp));
+    link_.send_dllp_upstream(down_ledger_.release_for(tlp));
+  }
+  if (tlp.poisoned) {
+    // Error forwarding: the sender exhausted its replay budget. The TLP's
+    // content cannot be acted upon; retire the operation it carried with
+    // a completion-with-error instead of hanging it (docs/FAULTS.md).
+    on_poisoned_tlp(tlp);
+    return;
   }
   switch (tlp.type) {
     case pcie::TlpType::kMemWrite: {
@@ -73,7 +81,7 @@ void Nic::on_downstream_tlp(const pcie::Tlp& tlp) {
       // Match against the outstanding read.
       auto it = pending_reads_.find(tlp.tag);
       BB_ASSERT_MSG(it != pending_reads_.end(), "CplD for unknown tag");
-      const pcie::ReadRequest req = it->second;
+      const pcie::ReadRequest req = it->second.req;
       pending_reads_.erase(it);
       on_read_completion(req, *rc);
       return;
@@ -83,6 +91,88 @@ void Nic::on_downstream_tlp(const pcie::Tlp& tlp) {
   }
 }
 
+void Nic::on_poisoned_tlp(const pcie::Tlp& tlp) {
+  switch (tlp.type) {
+    case pcie::TlpType::kMemWrite: {
+      if (const auto* desc =
+              std::get_if<pcie::DescriptorWrite>(&tlp.content)) {
+        // A poisoned PIO descriptor: the post is dead on arrival.
+        complete_with_error(desc->md.qp, desc->md.msg_id);
+        return;
+      }
+      if (const auto* db = std::get_if<pcie::DoorbellWrite>(&tlp.content)) {
+        // A poisoned DoorBell: consume the staged descriptor it pointed at
+        // (keeping ring and doorbell counter in sync) and fail that op.
+        auto md = host_.take_staged(db->qp);
+        complete_with_error(db->qp, md ? md->msg_id : 0);
+        return;
+      }
+      BB_UNREACHABLE("unexpected poisoned downstream MWr content at NIC");
+    }
+    case pcie::TlpType::kCompletionData: {
+      const auto* rc = std::get_if<pcie::ReadCompletion>(&tlp.content);
+      BB_ASSERT_MSG(rc != nullptr, "CplD without ReadCompletion content");
+      auto it = pending_reads_.find(tlp.tag);
+      BB_ASSERT_MSG(it != pending_reads_.end(), "poisoned CplD for unknown tag");
+      const PendingRead pr = it->second;
+      pending_reads_.erase(it);
+      if (pr.req.what == pcie::ReadRequest::What::kPayload &&
+          pr.attempts < params_.max_read_retries) {
+        // Host-memory payload reads are idempotent: just read again.
+        ++read_retries_;
+        if (fault_stats_) ++fault_stats_->read_retries;
+        pcie::ReadRequest retry = pr.req;
+        retry.retry = true;
+        issue_dma_read(retry, pr.attempts + 1);
+        return;
+      }
+      if (pr.req.what == pcie::ReadRequest::What::kPayload) {
+        // Retries exhausted: fail the descriptor waiting on this payload.
+        auto wit = staged_payload_wait_.find(pr.req.host_addr);
+        BB_ASSERT_MSG(wit != staged_payload_wait_.end(),
+                      "poisoned payload CplD with no waiting descriptor");
+        const pcie::WireMd md = wit->second;
+        staged_payload_wait_.erase(wit);
+        complete_with_error(md.qp, md.msg_id);
+        return;
+      }
+      // Descriptor fetch failed. If the host served it, the descriptor
+      // left the ring and rides (nominally corrupt) in the completion --
+      // usable for error bookkeeping only. If the MRd itself was poisoned
+      // the host never served; drop the staged descriptor to stay in sync.
+      if (rc->served) {
+        complete_with_error(pr.req.qp, rc->md.msg_id);
+      } else {
+        auto md = host_.take_staged(pr.req.qp);
+        complete_with_error(pr.req.qp, md ? md->msg_id : 0);
+      }
+      return;
+    }
+    case pcie::TlpType::kMemRead:
+      BB_UNREACHABLE("NIC does not expect downstream MRd");
+  }
+}
+
+void Nic::complete_with_error(std::uint32_t qp, std::uint64_t msg_id) {
+  std::uint32_t& pending = pending_completes_[qp];
+  pcie::Tlp tlp;
+  tlp.type = pcie::TlpType::kMemWrite;
+  tlp.bytes = params_.cqe_bytes;
+  pcie::CqeWrite cqe;
+  cqe.qp = qp;
+  cqe.msg_id = msg_id;
+  // Retires the failed op plus every unsignalled predecessor on the QP
+  // (those did complete; the error status flags the tail op).
+  cqe.completes = pending + 1;
+  cqe.status = common::Status::kIoError;
+  pending = 0;
+  tlp.content = cqe;
+  ++cqes_written_;
+  ++error_cqes_;
+  if (fault_stats_) ++fault_stats_->error_cqes;
+  send_upstream(std::move(tlp));
+}
+
 void Nic::on_downstream_dllp(const pcie::Dllp& d) {
   if (d.type == pcie::DllpType::kUpdateFC) {
     up_credits_.replenish(d);
@@ -90,13 +180,13 @@ void Nic::on_downstream_dllp(const pcie::Dllp& d) {
   }
 }
 
-void Nic::issue_dma_read(pcie::ReadRequest req) {
+void Nic::issue_dma_read(pcie::ReadRequest req, int attempts) {
   pcie::Tlp tlp;
   tlp.type = pcie::TlpType::kMemRead;
   tlp.bytes = 0;  // MRd carries no data
   tlp.tag = next_tag_++;
   tlp.content = req;
-  pending_reads_[tlp.tag] = req;
+  pending_reads_[tlp.tag] = PendingRead{req, attempts};
   ++dma_reads_issued_;
   send_upstream(std::move(tlp));
 }

@@ -26,6 +26,7 @@
 #include <map>
 
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "net/fabric.hpp"
 #include "nic/queues.hpp"
 #include "pcie/credit.hpp"
@@ -52,6 +53,9 @@ struct NicParams {
   double doorbell_proc_ns = 10.0;
   /// CQE size (64 bytes on Mellanox InfiniBand).
   std::uint32_t cqe_bytes = 64;
+  /// DMA payload reads reissued after a poisoned completion before the
+  /// operation is retired with an error CQE.
+  int max_read_retries = 2;
 };
 
 class Nic {
@@ -77,6 +81,12 @@ class Nic {
   std::uint64_t cqes_written() const { return cqes_written_; }
   std::uint64_t dma_reads_issued() const { return dma_reads_issued_; }
   std::uint64_t credit_stalls() const { return credit_stalls_; }
+  std::uint64_t error_cqes() const { return error_cqes_; }
+  std::uint64_t read_retries() const { return read_retries_; }
+
+  /// Shared fault-stat accumulator (the link's injector owns it); error
+  /// completions and read retries are counted there too when set.
+  void set_fault_stats(fault::FaultStats* s) { fault_stats_ = s; }
 
  private:
   // Link-side (downstream from RC).
@@ -91,10 +101,16 @@ class Nic {
   void send_upstream(pcie::Tlp tlp);
   sim::Task<void> upstream_pump();
 
-  void issue_dma_read(pcie::ReadRequest req);
+  void issue_dma_read(pcie::ReadRequest req, int attempts = 0);
   void on_read_completion(const pcie::ReadRequest& req,
                           const pcie::ReadCompletion& rc);
   void on_ack(std::uint64_t msg_id);
+  /// Fault recovery: handles a poisoned downstream TLP (error-forwarded
+  /// after exhausted link replays).
+  void on_poisoned_tlp(const pcie::Tlp& tlp);
+  /// Retires `msg_id` (and every unsignalled predecessor on `qp`) with a
+  /// completion-with-error.
+  void complete_with_error(std::uint32_t qp, std::uint64_t msg_id);
 
   sim::Simulator& sim_;
   pcie::Link& link_;
@@ -111,11 +127,19 @@ class Nic {
   std::map<std::uint64_t, pcie::WireMd> in_flight_;
   /// Per-QP count of retired-but-unsignalled ops awaiting the next CQE.
   std::map<std::uint32_t, std::uint32_t> pending_completes_;
-  /// Outstanding DMA reads by tag.
-  std::map<std::uint64_t, pcie::ReadRequest> pending_reads_;
+  /// Outstanding DMA reads by tag (attempts counts reissues so far).
+  struct PendingRead {
+    pcie::ReadRequest req;
+    int attempts = 0;
+  };
+  std::map<std::uint64_t, PendingRead> pending_reads_;
   /// Descriptors whose payload DMA read is in flight, by payload address.
   std::map<std::uint64_t, pcie::WireMd> staged_payload_wait_;
   std::uint64_t next_tag_ = 1;
+
+  /// Cumulative credit totals released back to the RC.
+  pcie::CreditLedger down_ledger_;
+  fault::FaultStats* fault_stats_ = nullptr;
 
   std::uint32_t rq_available_ = 0;
   std::uint64_t messages_injected_ = 0;
@@ -123,6 +147,8 @@ class Nic {
   std::uint64_t cqes_written_ = 0;
   std::uint64_t dma_reads_issued_ = 0;
   std::uint64_t credit_stalls_ = 0;
+  std::uint64_t error_cqes_ = 0;
+  std::uint64_t read_retries_ = 0;
 };
 
 }  // namespace bb::nic

@@ -27,16 +27,31 @@ std::size_t HostMemory::staged_count(std::uint32_t qp) const {
   return it == staged_.end() ? 0 : it->second.size();
 }
 
+std::optional<pcie::WireMd> HostMemory::take_staged(std::uint32_t qp) {
+  auto it = staged_.find(qp);
+  if (it == staged_.end() || it->second.empty()) return std::nullopt;
+  pcie::WireMd md = it->second.front();
+  it->second.pop_front();
+  return md;
+}
+
 void HostMemory::commit_write(const pcie::Tlp& tlp, TimePs visible_at) {
+  // Error forwarding: a poisoned DMA write still lands (the RC commits
+  // it), but any completion it carries is flagged as an error.
+  const common::Status st =
+      tlp.poisoned ? common::Status::kIoError : common::Status::kOk;
   if (const auto* cqe = std::get_if<pcie::CqeWrite>(&tlp.content)) {
-    tx_cqs_[cqe->qp].push(Cqe{cqe->msg_id, cqe->completes, 0, 0, visible_at});
+    const common::Status cqe_st =
+        cqe->status != common::Status::kOk ? cqe->status : st;
+    tx_cqs_[cqe->qp].push(
+        Cqe{cqe->msg_id, cqe->completes, 0, 0, visible_at, cqe_st});
   } else if (const auto* pl = std::get_if<pcie::PayloadWrite>(&tlp.content)) {
     payload_bytes_delivered_ += pl->bytes;
     ++payload_writes_;
     if (pl->op == pcie::WireOp::kSend) {
       // Send-receive: the payload write carries the receive completion
       // (mini-CQE); the posted receive completes when the write is visible.
-      rx_cq_.push(Cqe{pl->msg_id, 1, pl->user_data, pl->bytes, visible_at});
+      rx_cq_.push(Cqe{pl->msg_id, 1, pl->user_data, pl->bytes, visible_at, st});
     }
   } else {
     BB_UNREACHABLE("unexpected memory write content");

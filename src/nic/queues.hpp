@@ -15,6 +15,7 @@
 #include <map>
 #include <optional>
 
+#include "common/status.hpp"
 #include "common/units.hpp"
 #include "pcie/root_complex.hpp"
 #include "pcie/tlp.hpp"
@@ -31,6 +32,10 @@ struct Cqe {
   /// Payload size delivered (RX completions only).
   std::uint32_t bytes = 0;
   TimePs visible_at;
+  /// kIoError marks a completion-with-error (§fault model): the retired
+  /// operation(s) failed after the link exhausted its recovery budget.
+  /// (Last so pre-fault aggregate initializers stay valid.)
+  common::Status status = common::Status::kOk;
 };
 
 /// A CQ ring in host memory.
@@ -75,6 +80,10 @@ class HostMemory {
     staged_[md.qp].push_back(md);
   }
   std::size_t staged_count(std::uint32_t qp) const;
+  /// Removes and returns the oldest staged descriptor on `qp` (fault
+  /// recovery: a dead DoorBell/descriptor-fetch must not leave the ring
+  /// out of sync with the NIC).
+  std::optional<pcie::WireMd> take_staged(std::uint32_t qp);
 
   /// RC memory-sink entry point: a DMA write became visible.
   void commit_write(const pcie::Tlp& tlp, TimePs visible_at);

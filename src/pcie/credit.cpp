@@ -1,5 +1,7 @@
 #include "pcie/credit.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace bb::pcie {
@@ -75,9 +77,25 @@ void CreditState::consume(const Tlp& tlp) {
 void CreditState::replenish(const Dllp& update) {
   BB_ASSERT(update.type == DllpType::kUpdateFC);
   PerClass& c = cls(update.credit_class);
-  c.available_.header += update.header_credits;
-  c.available_.data += update.data_credits;
-  c.replenished_headers += update.header_credits;
+  std::uint32_t dh = update.header_credits;
+  std::uint32_t dd = update.data_credits;
+  if (update.cumulative) {
+    // Absolute counters: replenish only what exceeds the totals already
+    // seen, so duplicate/stale/re-emitted UpdateFCs are no-ops.
+    dh = update.header_total > c.seen_header_total
+             ? static_cast<std::uint32_t>(update.header_total -
+                                          c.seen_header_total)
+             : 0;
+    dd = update.data_total > c.seen_data_total
+             ? static_cast<std::uint32_t>(update.data_total -
+                                          c.seen_data_total)
+             : 0;
+    c.seen_header_total = std::max(c.seen_header_total, update.header_total);
+    c.seen_data_total = std::max(c.seen_data_total, update.data_total);
+  }
+  c.available_.header += dh;
+  c.available_.data += dd;
+  c.replenished_headers += dh;
   BB_ASSERT_MSG(c.available_.header <= c.limit.header &&
                     c.available_.data <= c.limit.data,
                 "credit replenish exceeded advertised budget");
@@ -98,6 +116,17 @@ Dllp CreditState::release_for(const Tlp& tlp) {
 
 std::int64_t CreditState::outstanding_headers(CreditClass c) const {
   return cls(c).consumed_headers - cls(c).replenished_headers;
+}
+
+Dllp CreditLedger::release_for(const Tlp& tlp) {
+  Dllp d = CreditState::release_for(tlp);
+  Totals& t = totals_[static_cast<int>(d.credit_class)];
+  t.header += d.header_credits;
+  t.data += d.data_credits;
+  d.cumulative = true;
+  d.header_total = t.header;
+  d.data_total = t.data;
+  return d;
 }
 
 }  // namespace bb::pcie

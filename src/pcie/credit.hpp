@@ -33,7 +33,10 @@ class CreditState {
   bool can_send(const Tlp& tlp) const;
   /// Consumes credits for `tlp`; caller must have checked can_send.
   void consume(const Tlp& tlp);
-  /// Applies an UpdateFC replenishment.
+  /// Applies an UpdateFC replenishment. Cumulative updates (absolute
+  /// released-credit counters, the real-PCIe scheme) are idempotent:
+  /// duplicates and stale re-emissions replenish only the delta beyond
+  /// what was already seen. Legacy delta updates apply verbatim.
   void replenish(const Dllp& update);
 
   /// Credits currently available for a class.
@@ -52,6 +55,9 @@ class CreditState {
     CreditBudget available_; // current credits
     std::int64_t consumed_headers = 0;
     std::int64_t replenished_headers = 0;
+    /// Highest cumulative totals seen (cumulative UpdateFC dedup).
+    std::uint64_t seen_header_total = 0;
+    std::uint64_t seen_data_total = 0;
   };
   std::array<PerClass, 3> classes_{};
 
@@ -59,6 +65,28 @@ class CreditState {
   const PerClass& cls(CreditClass c) const {
     return classes_[static_cast<int>(c)];
   }
+};
+
+/// The releasing side of the flow-control protocol: tracks the cumulative
+/// credits a receiver has handed back since link-up and stamps each
+/// UpdateFC with both the per-TLP delta (legacy consumers, the trace) and
+/// the absolute totals that make delivery idempotent. The Root Complex
+/// and the NIC each own one per direction they replenish.
+class CreditLedger {
+ public:
+  /// The UpdateFC releasing the credits `tlp` consumed.
+  Dllp release_for(const Tlp& tlp);
+
+  std::uint64_t header_total(CreditClass c) const {
+    return totals_[static_cast<int>(c)].header;
+  }
+
+ private:
+  struct Totals {
+    std::uint64_t header = 0;
+    std::uint64_t data = 0;
+  };
+  std::array<Totals, 3> totals_{};
 };
 
 }  // namespace bb::pcie

@@ -9,8 +9,9 @@ namespace bb::pcie {
 
 enum class DllpType : std::uint8_t {
   kAck,       // data-link acknowledgement of a received TLP
-  kNak,       // retransmission request (modelled but not exercised on the
-              // error-free critical path)
+  kNak,       // retransmission request (exercised under fault injection:
+              // the receiver Naks a corrupt or out-of-sequence TLP and the
+              // sender replays from its buffer)
   kUpdateFC,  // credit replenishment
 };
 
@@ -31,6 +32,14 @@ struct Dllp {
   CreditClass credit_class = CreditClass::kPosted;
   std::uint32_t header_credits = 0;
   std::uint32_t data_credits = 0;
+  /// Cumulative credit totals released since link-up (kUpdateFC). Real
+  /// PCIe advertises absolute counters, which makes UpdateFC delivery
+  /// idempotent: stale or re-emitted packets replenish at most the
+  /// difference from what the receiver has already seen. Essential for
+  /// loss-tolerant re-emission (docs/FAULTS.md).
+  bool cumulative = false;
+  std::uint64_t header_total = 0;
+  std::uint64_t data_total = 0;
 };
 
 }  // namespace bb::pcie

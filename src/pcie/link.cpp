@@ -4,8 +4,9 @@
 
 namespace bb::pcie {
 
-Link::Link(sim::Simulator& sim, LinkParams params, Analyzer* tap)
-    : sim_(sim), params_(params), tap_(tap) {}
+Link::Link(sim::Simulator& sim, LinkParams params, Analyzer* tap,
+           fault::FaultInjector* injector)
+    : sim_(sim), params_(params), tap_(tap), injector_(injector) {}
 
 void Link::send_downstream(Tlp tlp) {
   tlp.dir = Direction::kDownstream;
@@ -25,61 +26,212 @@ void Link::send_dllp_upstream(Dllp d) { transmit_dllp(Direction::kUpstream, d); 
 
 void Link::transmit_tlp(Direction dir, Tlp tlp) {
   DirState& st = dir_state(dir);
+  const std::uint64_t seq = st.next_seq++;
+  ++tlps_accepted_;
+  if (faults_on()) {
+    // Hold every transmitted TLP until the data-link Ack purges it.
+    st.replay.push_back(ReplayEntry{tlp, seq, 0});
+    arm_replay_timer(dir);
+  }
+  transmit_attempt(dir, tlp, seq, 0);
+}
+
+void Link::transmit_attempt(Direction dir, const Tlp& tlp, std::uint64_t seq,
+                            int attempt) {
+  DirState& st = dir_state(dir);
   const TimePs depart = std::max(sim_.now(), st.next_free);
   st.next_free = depart + params_.serialize(tlp.bytes);
-  TimePs arrive = depart + params_.tlp_latency(tlp.bytes);
-  arrive = std::max(arrive, st.last_arrival);  // posted-ordering guarantee
-  st.last_arrival = arrive;
-
-  const std::uint64_t seq = st.next_seq++;
 
   // Tap: upstream packets pass the tap as they leave the NIC (depart);
   // downstream packets pass it as they arrive at the NIC.
   if (tap_ && dir == Direction::kUpstream) tap_->on_tlp(depart, tlp);
 
-  sim_.call_at(arrive, [this, dir, tlp = std::move(tlp), seq, arrive]() {
-    if (tap_ && dir == Direction::kDownstream) tap_->on_tlp(arrive, tlp);
-    ++tlps_delivered_;
-
-    // Data-link acknowledgement from the receiving end.
-    Dllp ack;
-    ack.type = DllpType::kAck;
-    ack.ack_seq = seq;
-    const Direction back = dir == Direction::kDownstream
-                               ? Direction::kUpstream
-                               : Direction::kDownstream;
-    sim_.call_in(TimePs::from_ns(params_.ack_processing_ns),
-                 [this, back, ack] {
-                   transmit_dllp(back, ack);
-                 });
-
-    // Deliver to the endpoint.
-    if (dir == Direction::kDownstream) {
-      if (b_tlp_) b_tlp_(tlp);
-    } else {
-      if (a_tlp_) a_tlp_(tlp);
+  // Fault injection sits on the wire, after the tap's vantage point.
+  // Poisoned retransmissions bypass it: the sender already gave up on
+  // clean delivery and error-forwards, so recovery always terminates.
+  bool corrupt = false;
+  if (faults_on() && !tlp.poisoned) {
+    switch (injector_->tlp_fate(fault_dir(dir), seq, attempt)) {
+      case fault::FaultInjector::TlpFate::kDeliver:
+        break;
+      case fault::FaultInjector::TlpFate::kCorrupt:
+        corrupt = true;
+        break;
+      case fault::FaultInjector::TlpFate::kDrop:
+        return;  // consumed wire time, but no arrival: the replay timer
+                 // (or a later Nak) recovers it
     }
+  }
+
+  TimePs arrive = depart + params_.tlp_latency(tlp.bytes);
+  arrive = std::max(arrive, st.last_arrival);  // posted-ordering guarantee
+  st.last_arrival = arrive;
+
+  sim_.call_at(arrive,
+               [this, dir, tlp, seq, arrive, corrupt]() {
+    if (tap_ && dir == Direction::kDownstream) tap_->on_tlp(arrive, tlp);
+
+    if (!faults_on()) {
+      // Error-free fast path: accept unconditionally (sequences cannot be
+      // disturbed), identical to the pre-fault model bit for bit.
+      deliver(dir, tlp, seq);
+      return;
+    }
+
+    DirState& st = dir_state(dir);
+    if (corrupt) {
+      // LCRC failure: discard and request retransmission once per
+      // recovery window (further Naks are suppressed until the window
+      // closes; the sender's replay timer backstops a lost Nak).
+      if (!st.nak_outstanding) {
+        st.nak_outstanding = true;
+        ++injector_->stats().naks_sent;
+        send_ack(dir, DllpType::kNak, st.expected_seq - 1);
+      }
+      return;
+    }
+    if (seq < st.expected_seq) {
+      // Duplicate of an already-accepted TLP (a replay raced the Ack):
+      // discard and re-acknowledge so the sender can purge it.
+      ++injector_->stats().duplicates_dropped;
+      send_ack(dir, DllpType::kAck, st.expected_seq - 1);
+      return;
+    }
+    if (seq > st.expected_seq) {
+      // Sequence gap: a predecessor was lost.
+      if (!st.nak_outstanding) {
+        st.nak_outstanding = true;
+        ++injector_->stats().naks_sent;
+        send_ack(dir, DllpType::kNak, st.expected_seq - 1);
+      }
+      return;
+    }
+    // In sequence: accept.
+    st.expected_seq = seq + 1;
+    st.nak_outstanding = false;
+    deliver(dir, tlp, seq);
   });
+}
+
+void Link::deliver(Direction dir, const Tlp& tlp, std::uint64_t seq) {
+  ++tlps_delivered_;
+  // Data-link acknowledgement from the receiving end.
+  send_ack(dir, DllpType::kAck, seq);
+  // Deliver to the endpoint.
+  if (dir == Direction::kDownstream) {
+    if (b_tlp_) b_tlp_(tlp);
+  } else {
+    if (a_tlp_) a_tlp_(tlp);
+  }
+}
+
+void Link::send_ack(Direction dir, DllpType type, std::uint64_t seq) {
+  Dllp ack;
+  ack.type = type;
+  ack.ack_seq = seq;
+  const Direction back = opposite(dir);
+  sim_.call_in(TimePs::from_ns(params_.ack_processing_ns),
+               [this, back, ack] { transmit_dllp(back, ack); });
 }
 
 void Link::transmit_dllp(Direction dir, Dllp d) {
   DirState& st = dir_state(dir);
   const TimePs depart = std::max(sim_.now(), st.next_free);
   st.next_free = depart + params_.serialize(params_.dllp_bytes);
+
+  if (tap_ && dir == Direction::kUpstream) tap_->on_dllp(depart, dir, d);
+
+  if (faults_on()) {
+    if (d.type == DllpType::kUpdateFC) {
+      if (injector_->drop_updatefc(fault_dir(dir))) {
+        // Credit-timeout re-emission: the releasing side's cumulative
+        // counters make the repeat idempotent, so resending the same
+        // DLLP later is always safe (and converges even if the repeat is
+        // dropped again). This stands in for PCIe's periodic FC-update
+        // timer, which would flood a run-to-completion simulation.
+        sim_.call_in(TimePs::from_ns(injector_->config().fc_reemit_timeout_ns),
+                     [this, dir, d] {
+                       ++injector_->stats().fc_reemissions;
+                       transmit_dllp(dir, d);
+                     });
+        return;
+      }
+    } else if (injector_->drop_ack(fault_dir(dir))) {
+      // A lost Ack/Nak is recovered by the sender's replay timer (the
+      // replayed TLP is discarded as a duplicate and re-acknowledged).
+      return;
+    }
+  }
+
   TimePs arrive = depart + params_.dllp_latency();
   arrive = std::max(arrive, st.last_arrival);
   st.last_arrival = arrive;
 
-  if (tap_ && dir == Direction::kUpstream) tap_->on_dllp(depart, dir, d);
-
   sim_.call_at(arrive, [this, dir, d, arrive] {
     if (tap_ && dir == Direction::kDownstream) tap_->on_dllp(arrive, dir, d);
+    if (faults_on() && d.type != DllpType::kUpdateFC) {
+      // An Ack/Nak travelling in `dir` acknowledges TLPs transmitted in
+      // the opposite direction: service that replay buffer first.
+      on_ack_dllp(opposite(dir), d);
+    }
     if (dir == Direction::kDownstream) {
       if (b_dllp_) b_dllp_(d);
     } else {
       if (a_dllp_) a_dllp_(d);
     }
   });
+}
+
+void Link::on_ack_dllp(Direction dir, const Dllp& d) {
+  DirState& st = dir_state(dir);
+  while (!st.replay.empty() && st.replay.front().seq <= d.ack_seq) {
+    st.replay.pop_front();
+  }
+  if (d.type == DllpType::kNak) {
+    // Go-back-N: everything after the Nak'd sequence is retransmitted in
+    // order.
+    replay_all(dir);
+  }
+  // Ack/Nak receipt restarts REPLAY_TIMER.
+  st.timer_armed = false;
+  ++st.timer_epoch;
+  arm_replay_timer(dir);
+}
+
+void Link::replay_all(Direction dir) {
+  DirState& st = dir_state(dir);
+  for (ReplayEntry& e : st.replay) {
+    ++e.attempts;
+    if (e.attempts > injector_->config().max_replays && !e.tlp.poisoned) {
+      // Replay budget exhausted: error-forward (EP bit). The poisoned
+      // attempt bypasses the injector, so it is guaranteed to arrive and
+      // be acknowledged; the receiver surfaces an error completion.
+      e.tlp.poisoned = true;
+      ++injector_->stats().poisoned_tlps;
+    }
+    ++injector_->stats().replays;
+    transmit_attempt(dir, e.tlp, e.seq, e.attempts);
+  }
+}
+
+void Link::arm_replay_timer(Direction dir) {
+  if (!faults_on()) return;
+  DirState& st = dir_state(dir);
+  if (st.timer_armed || st.replay.empty()) return;
+  st.timer_armed = true;
+  const std::uint64_t epoch = ++st.timer_epoch;
+  sim_.call_in(TimePs::from_ns(injector_->config().replay_timeout_ns),
+               [this, dir, epoch] { on_replay_timeout(dir, epoch); });
+}
+
+void Link::on_replay_timeout(Direction dir, std::uint64_t epoch) {
+  DirState& st = dir_state(dir);
+  if (!st.timer_armed || epoch != st.timer_epoch) return;  // stale
+  st.timer_armed = false;
+  if (st.replay.empty()) return;
+  ++injector_->stats().replay_timeouts;
+  replay_all(dir);
+  arm_replay_timer(dir);
 }
 
 }  // namespace bb::pcie

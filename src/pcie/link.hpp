@@ -9,14 +9,29 @@
 // direction. The data-link layer is modelled by per-TLP Ack DLLPs
 // generated at the receiving end.
 //
+// Data-link reliability: with a fault injector attached, every transmitted
+// TLP is also held in a per-direction replay buffer until acknowledged.
+// The receiver tracks the expected sequence number; a corrupt or
+// out-of-sequence TLP is discarded and Nak'd, a duplicate is discarded and
+// re-Ack'd, and the sender replays unacknowledged TLPs on Nak reception or
+// REPLAY_TIMER expiry. A TLP that exhausts its replay budget is forwarded
+// *poisoned* (error forwarding, the EP-bit model) so upper layers can
+// surface an error completion instead of hanging. Lost UpdateFC DLLPs are
+// re-emitted after a credit timeout; cumulative credit counters make the
+// re-emission idempotent. Without an injector (or with a disabled one)
+// none of this machinery runs and the link is bit-identical to the
+// error-free model.
+//
 // Tap semantics: downstream packets are recorded when they *arrive* at B
 // (the analyzer is upstream-adjacent to the NIC); upstream packets are
 // recorded when they *depart* B. This is exactly the vantage point the
 // paper's measurement methodology relies on.
 
+#include <deque>
 #include <functional>
 
 #include "common/units.hpp"
+#include "fault/fault.hpp"
 #include "pcie/dllp.hpp"
 #include "pcie/tlp.hpp"
 #include "pcie/trace.hpp"
@@ -61,7 +76,8 @@ struct LinkParams {
 
 class Link {
  public:
-  Link(sim::Simulator& sim, LinkParams params, Analyzer* tap = nullptr);
+  Link(sim::Simulator& sim, LinkParams params, Analyzer* tap = nullptr,
+       fault::FaultInjector* injector = nullptr);
 
   const LinkParams& params() const { return params_; }
 
@@ -79,17 +95,63 @@ class Link {
   void send_dllp_upstream(Dllp d);
 
   std::uint64_t tlps_delivered() const { return tlps_delivered_; }
+  /// TLPs handed to send_* (each counted once, however many attempts).
+  std::uint64_t tlps_accepted() const { return tlps_accepted_; }
+  /// Unacknowledged TLPs currently held for replay (both directions);
+  /// zero at quiescence when every loss was recovered.
+  std::size_t replay_buffer_depth() const {
+    return down_.replay.size() + up_.replay.size();
+  }
+
+  fault::FaultInjector* injector() { return injector_; }
 
  private:
+  /// A transmitted-but-unacknowledged TLP held for retransmission.
+  struct ReplayEntry {
+    Tlp tlp;
+    std::uint64_t seq = 0;
+    int attempts = 0;  // retransmissions so far
+  };
+
   struct DirState {
+    // Transmitter state for TLPs sent *in* this direction.
     TimePs next_free = TimePs::zero();    // transmitter availability
     TimePs last_arrival = TimePs::zero(); // ordering enforcement
     std::uint64_t next_seq = 1;           // data-link sequence numbers
+    std::deque<ReplayEntry> replay;       // unacknowledged TLPs, seq order
+    std::uint64_t timer_epoch = 0;        // invalidates stale timer events
+    bool timer_armed = false;
+    // Receiver state for TLPs arriving from this direction.
+    std::uint64_t expected_seq = 1;
+    bool nak_outstanding = false;  // one Nak per recovery window
   };
 
-  /// Computes departure/arrival and schedules delivery.
+  bool faults_on() const { return injector_ && injector_->enabled(); }
+  static fault::LinkDir fault_dir(Direction d) {
+    return d == Direction::kDownstream ? fault::LinkDir::kDownstream
+                                       : fault::LinkDir::kUpstream;
+  }
+  static Direction opposite(Direction d) {
+    return d == Direction::kDownstream ? Direction::kUpstream
+                                       : Direction::kDownstream;
+  }
+
+  /// Computes departure/arrival and schedules delivery of one attempt.
+  void transmit_attempt(Direction dir, const Tlp& tlp, std::uint64_t seq,
+                        int attempt);
   void transmit_tlp(Direction dir, Tlp tlp);
   void transmit_dllp(Direction dir, Dllp d);
+  /// Receiver accepted `seq` in order: ack and deliver.
+  void deliver(Direction dir, const Tlp& tlp, std::uint64_t seq);
+  void send_ack(Direction dir, DllpType type, std::uint64_t seq);
+  /// Sender-side processing of an arriving Ack/Nak for direction `dir`'s
+  /// replay buffer.
+  void on_ack_dllp(Direction dir, const Dllp& d);
+  /// Retransmits every entry still in `dir`'s replay buffer.
+  void replay_all(Direction dir);
+  void arm_replay_timer(Direction dir);
+  void on_replay_timeout(Direction dir, std::uint64_t epoch);
+
   DirState& dir_state(Direction d) {
     return d == Direction::kDownstream ? down_ : up_;
   }
@@ -97,11 +159,13 @@ class Link {
   sim::Simulator& sim_;
   LinkParams params_;
   Analyzer* tap_;
+  fault::FaultInjector* injector_;
   DirState down_;
   DirState up_;
   std::function<void(const Tlp&)> a_tlp_, b_tlp_;
   std::function<void(const Dllp&)> a_dllp_, b_dllp_;
   std::uint64_t tlps_delivered_ = 0;
+  std::uint64_t tlps_accepted_ = 0;
 };
 
 }  // namespace bb::pcie

@@ -38,6 +38,27 @@ sim::Task<void> RootComplex::downstream_pump() {
 }
 
 void RootComplex::on_upstream_tlp(const Tlp& tlp) {
+  if (tlp.poisoned && tlp.type == TlpType::kMemRead) {
+    // A poisoned MRd cannot be served (its request fields are nominally
+    // corrupt): answer with a poisoned CplD -- without consuming the
+    // host-side read state, so the NIC's retry can be served cleanly --
+    // and still release the credits the MRd consumed.
+    const auto* req = std::get_if<ReadRequest>(&tlp.content);
+    BB_ASSERT_MSG(req != nullptr, "MRd without a ReadRequest content");
+    Tlp cpl;
+    cpl.type = TlpType::kCompletionData;
+    cpl.bytes = req->bytes;
+    cpl.tag = tlp.tag;
+    cpl.poisoned = true;
+    ReadCompletion rc;
+    rc.what = req->what;
+    rc.bytes = req->bytes;
+    rc.served = false;
+    cpl.content = rc;
+    link_.send_downstream(std::move(cpl));
+    link_.send_dllp_downstream(ledger_.release_for(tlp));
+    return;
+  }
   switch (tlp.type) {
     case TlpType::kMemWrite: {
       // Commit to host memory after RC-to-MEM(x B); then visible to loads.
@@ -71,8 +92,9 @@ void RootComplex::on_upstream_tlp(const Tlp& tlp) {
     case TlpType::kCompletionData:
       BB_UNREACHABLE("RC does not expect upstream CplD in this topology");
   }
-  // Return the consumed credits to the NIC.
-  link_.send_dllp_downstream(CreditState::release_for(tlp));
+  // Return the consumed credits to the NIC (cumulative totals: idempotent
+  // under loss-recovery re-emission).
+  link_.send_dllp_downstream(ledger_.release_for(tlp));
 }
 
 void RootComplex::on_upstream_dllp(const Dllp& d) {

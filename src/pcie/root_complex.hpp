@@ -76,6 +76,8 @@ class RootComplex {
   Link& link_;
   RcParams params_;
   CreditState credits_;
+  /// Cumulative released-credit totals for the UpdateFCs we send the NIC.
+  CreditLedger ledger_;
   sim::Channel<Tlp> ingress_;
   sim::Signal credit_avail_;
   MemorySink mem_sink_;

@@ -13,6 +13,8 @@
 #include <string>
 #include <variant>
 
+#include "common/status.hpp"
+
 namespace bb::pcie {
 
 enum class TlpType : std::uint8_t {
@@ -75,6 +77,8 @@ struct CqeWrite {
   /// Number of operations this CQE retires (unsignalled moderation: a CQE
   /// every c ops acknowledges all c).
   std::uint32_t completes = 1;
+  /// kIoError marks a completion-with-error (exhausted link recovery).
+  common::Status status = common::Status::kOk;
 };
 
 /// NIC DMA-write of an inbound message payload into host memory.
@@ -93,6 +97,9 @@ struct ReadRequest {
   std::uint32_t qp = 0;
   std::uint64_t host_addr = 0;
   std::uint32_t bytes = 0;
+  /// Marks a read reissued after a poisoned completion (payload reads are
+  /// idempotent against host memory, so a retry is a plain re-read).
+  bool retry = false;
 };
 
 /// CplD answering a ReadRequest.
@@ -100,6 +107,9 @@ struct ReadCompletion {
   ReadRequest::What what = ReadRequest::What::kDescriptor;
   WireMd md;  // valid when what == kDescriptor
   std::uint32_t bytes = 0;
+  /// False when the completer aborted without touching host state (the
+  /// MRd itself arrived poisoned), so no descriptor was consumed.
+  bool served = true;
 };
 
 using TlpContent = std::variant<std::monostate, DoorbellWrite, DescriptorWrite,
@@ -115,6 +125,11 @@ struct Tlp {
   std::uint32_t bytes = 0;
   /// Transaction tag pairing MRd with its CplD.
   std::uint64_t tag = 0;
+  /// Error forwarding (the EP bit): set when the sender exhausted its
+  /// data-link replay budget and forwarded the TLP anyway. Receivers turn
+  /// poisoned TLPs into error completions instead of acting on their
+  /// (nominally corrupt) content.
+  bool poisoned = false;
   TlpContent content;
 
   std::string describe() const;

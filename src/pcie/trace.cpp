@@ -33,6 +33,10 @@ void Trace::record_tlp(TimePs t, const Tlp& tlp) {
   r.tag = tlp.tag;
   r.msg_id = msg_id_of(tlp);
   r.kind = kind_of(tlp);
+  // Error-forwarded packets are visibly flagged, like an analyzer decoding
+  // the EP bit. Never set on the error-free path, so golden traces are
+  // untouched.
+  if (tlp.poisoned) r.kind += "!EP";
   records_.push_back(std::move(r));
 }
 

@@ -55,7 +55,15 @@ std::string Profiler::report() const {
                TextTable::num(s.stddev), TextTable::num(s.min),
                TextTable::num(s.max)});
   }
-  return t.render();
+  std::string out = t.render();
+  if (!counters_.empty()) {
+    TextTable c({"Counter", "Value"});
+    for (const auto& [name, v] : counters_) {
+      c.add_row({name, std::to_string(v)});
+    }
+    out += "\n" + c.render();
+  }
+  return out;
 }
 
 }  // namespace bb::prof

@@ -51,10 +51,26 @@ class Profiler {
   /// component is derived by subtraction, mirroring §5's methodology).
   void record_ns(const std::string& name, double ns);
 
+  /// Event counters (fault/recovery accounting and similar): free --
+  /// counting does not perturb the simulated timeline, unlike regions.
+  void note_count(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
   bool has(const std::string& name) const;
   const Samples& samples(const std::string& name) const;
   double mean_ns(const std::string& name) const;
-  void clear() { by_name_.clear(); }
+  void clear() {
+    by_name_.clear();
+    counters_.clear();
+  }
 
   /// The mean that gets subtracted from every region (Table 1:
   /// "Measurement update").
@@ -69,6 +85,7 @@ class Profiler {
   cpu::Core& core_;
   bool enabled_ = true;
   std::map<std::string, Samples> by_name_;
+  std::map<std::string, std::uint64_t> counters_;
 };
 
 }  // namespace bb::prof

@@ -1,83 +1,147 @@
 #include "scenario/config.hpp"
 
-namespace bb::scenario::presets {
+namespace bb::scenario {
 
-SystemConfig thunderx2_cx4() { return SystemConfig{}; }
+void apply_overlay(SystemConfig& c, const overlays::Overlay& o) {
+  if (!o.label.empty()) {
+    // Relabel rule: overlaying the pristine testbed *names* the scenario
+    // (preset wrappers stay "genz-switch", not "thunderx2-cx4+genz-switch");
+    // overlaying anything else records the composition.
+    if (c.name == "thunderx2-cx4") {
+      c.name = o.label;
+    } else {
+      c.name += "+" + o.label;
+    }
+  }
+  if (o.fn) o.fn(c);
+}
 
-SystemConfig integrated_nic(double io_reduction) {
-  SystemConfig c;
-  c.name = "integrated-nic";
+void apply_overlay(SystemConfig& c, const fault::FaultConfig& f) {
+  apply_overlay(c, overlays::faults(f));
+}
+
+namespace overlays {
+
+Overlay integrated_nic(double io_reduction) {
   const double keep = 1.0 - io_reduction;
-  c.link.base_latency_ns *= keep;
-  c.link.per_byte_ns *= keep;
-  c.rc.rc_to_mem_base_ns *= keep;
-  c.rc.rc_to_mem_per_byte_ns *= keep;
-  return c;
+  return {"integrated-nic", [keep](SystemConfig& c) {
+            c.link.base_latency_ns *= keep;
+            c.link.per_byte_ns *= keep;
+            c.rc.rc_to_mem_base_ns *= keep;
+            c.rc.rc_to_mem_per_byte_ns *= keep;
+          }};
 }
 
-SystemConfig fast_device_memory(double pio_copy_ns) {
-  SystemConfig c;
-  c.name = "fast-device-memory";
-  c.cpu.pio_copy_64b.mean_ns = pio_copy_ns;
-  return c;
+Overlay fast_device_memory(double pio_copy_ns) {
+  return {"fast-device-memory", [pio_copy_ns](SystemConfig& c) {
+            c.cpu.pio_copy_64b.mean_ns = pio_copy_ns;
+          }};
 }
 
-SystemConfig genz_switch(double switch_ns) {
-  SystemConfig c;
-  c.name = "genz-switch";
-  c.net.switch_latency_ns = switch_ns;
-  return c;
+Overlay genz_switch(double switch_ns) {
+  return {"genz-switch", [switch_ns](SystemConfig& c) {
+            c.net.switch_latency_ns = switch_ns;
+          }};
 }
 
-SystemConfig pam4_fec_wire(double extra_wire_ns) {
-  SystemConfig c;
-  c.name = "pam4-fec-wire";
-  c.net.wire_latency_ns += extra_wire_ns;
-  // Higher signalling rate: double the serialization bandwidth.
-  c.net.serialize_ns_per_byte /= 2.0;
-  return c;
+Overlay pam4_fec_wire(double extra_wire_ns) {
+  return {"pam4-fec-wire", [extra_wire_ns](SystemConfig& c) {
+            c.net.wire_latency_ns += extra_wire_ns;
+            // Higher signalling rate: double the serialization bandwidth.
+            c.net.serialize_ns_per_byte /= 2.0;
+          }};
 }
 
-SystemConfig tofu_d_like() {
+Overlay tofu_d_like() {
   // §7.1: Tofu-D's integrated NIC improved RDMA-write latency by ~400 ns.
   // Model it as an 80% I/O reduction, which removes ~413 ns of the
   // (2xPCIe + RC-to-MEM) = 516 ns I/O budget.
-  SystemConfig c = integrated_nic(0.8);
-  c.name = "tofu-d-like";
-  return c;
+  Overlay o = integrated_nic(0.8);
+  o.label = "tofu-d-like";
+  return o;
+}
+
+Overlay doorbell_dma() {
+  return {"doorbell-dma", [](SystemConfig& c) {
+            c.endpoint.use_pio = false;
+            c.endpoint.inline_payload = false;
+          }};
+}
+
+Overlay unsignaled_completions(std::uint32_t period) {
+  return {"unsignaled-completions", [period](SystemConfig& c) {
+            c.endpoint.signal.period = period;
+          }};
+}
+
+Overlay tso_cpu() {
+  return {"tso-cpu", [](SystemConfig& c) {
+            // The MD barrier disappears entirely; the DoorBell-counter
+            // step keeps its update work but loses the dmb (we attribute
+            // ~75% of the measured 21.07 ns to the barrier itself).
+            c.cpu.barrier_store_md.mean_ns = 0.0;
+            c.cpu.barrier_store_dbc.mean_ns = 21.07 * 0.25;
+          }};
+}
+
+Overlay deterministic() {
+  return {"deterministic", [](SystemConfig& c) { c.cpu.strip_jitter(); }};
+}
+
+Overlay faults(fault::FaultConfig f) {
+  return {"faults", [f = std::move(f)](SystemConfig& c) { c.fault = f; }};
+}
+
+Overlay faults(double tlp_corrupt_prob) {
+  fault::FaultConfig f;
+  f.tlp_corrupt_prob = tlp_corrupt_prob;
+  return faults(std::move(f));
+}
+
+}  // namespace overlays
+
+namespace presets {
+
+SystemConfig thunderx2_cx4() { return SystemConfig{}; }
+
+SystemConfig faulty_testbed(fault::FaultConfig f) {
+  return thunderx2_cx4().with(overlays::faults(std::move(f)));
+}
+
+SystemConfig integrated_nic(double io_reduction) {
+  return thunderx2_cx4().with(overlays::integrated_nic(io_reduction));
+}
+
+SystemConfig fast_device_memory(double pio_copy_ns) {
+  return thunderx2_cx4().with(overlays::fast_device_memory(pio_copy_ns));
+}
+
+SystemConfig genz_switch(double switch_ns) {
+  return thunderx2_cx4().with(overlays::genz_switch(switch_ns));
+}
+
+SystemConfig pam4_fec_wire(double extra_wire_ns) {
+  return thunderx2_cx4().with(overlays::pam4_fec_wire(extra_wire_ns));
+}
+
+SystemConfig tofu_d_like() {
+  return thunderx2_cx4().with(overlays::tofu_d_like());
 }
 
 SystemConfig doorbell_dma_path() {
-  SystemConfig c;
-  c.name = "doorbell-dma";
-  c.endpoint.use_pio = false;
-  c.endpoint.inline_payload = false;
-  return c;
+  return thunderx2_cx4().with(overlays::doorbell_dma());
 }
 
 SystemConfig unsignaled_completions(std::uint32_t period) {
-  SystemConfig c;
-  c.name = "unsignaled-completions";
-  c.endpoint.signal.period = period;
-  return c;
+  return thunderx2_cx4().with(overlays::unsignaled_completions(period));
 }
 
-SystemConfig tso_cpu() {
-  SystemConfig c;
-  c.name = "tso-cpu";
-  // The MD barrier disappears entirely; the DoorBell-counter step keeps
-  // its update work but loses the dmb (we attribute ~75% of the measured
-  // 21.07 ns to the barrier itself).
-  c.cpu.barrier_store_md.mean_ns = 0.0;
-  c.cpu.barrier_store_dbc.mean_ns = 21.07 * 0.25;
-  return c;
-}
+SystemConfig tso_cpu() { return thunderx2_cx4().with(overlays::tso_cpu()); }
 
 SystemConfig deterministic() {
-  SystemConfig c;
-  c.name = "deterministic";
-  c.cpu.strip_jitter();
-  return c;
+  return thunderx2_cx4().with(overlays::deterministic());
 }
 
-}  // namespace bb::scenario::presets
+}  // namespace presets
+
+}  // namespace bb::scenario

@@ -8,10 +8,14 @@
 // §7 what-if configurations as actual machine changes, so the simulated
 // optimizations can be *run*, not just computed.
 
+#include <concepts>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "cpu/cost_model.hpp"
+#include "fault/fault.hpp"
 #include "llp/endpoint.hpp"
 #include "llp/worker.hpp"
 #include "net/fabric.hpp"
@@ -33,12 +37,82 @@ struct SystemConfig {
   llp::WorkerConfig llp_worker;
   /// Template for endpoints created by the testbed.
   llp::EndpointConfig endpoint;
+  /// Fault-injection plan (disabled by default: all rates zero, no
+  /// scheduled one-shots). When disabled the testbed wires no injector
+  /// and the simulation is bit-identical to the error-free machine.
+  fault::FaultConfig fault;
+
+  /// Compose overlays onto a copy of this config, left to right:
+  ///   presets::thunderx2_cx4().with(overlays::genz_switch(30),
+  ///                                 overlays::faults(1e-3));
+  /// Each overlay is resolved through ADL `apply_overlay(config, o)`, so
+  /// callers can compose the named overlays below, a raw
+  /// fault::FaultConfig, or any callable taking `SystemConfig&`.
+  template <typename... Overlays>
+  [[nodiscard]] SystemConfig with(Overlays&&... overlays) const {
+    SystemConfig c = *this;
+    (apply_overlay(c, std::forward<Overlays>(overlays)), ...);
+    return c;
+  }
 };
 
+namespace overlays {
+
+/// A named, reusable config transform. Overlays relabel the config they
+/// touch: applied to the baseline testbed they *replace* the name (so
+/// preset wrappers keep their historical names); applied to anything else
+/// they append "+label", making composed scenarios self-describing.
+struct Overlay {
+  std::string label;
+  std::function<void(SystemConfig&)> fn;
+};
+
+/// §7.1 integrated NIC: scale the I/O subsystem down by `io_reduction`.
+Overlay integrated_nic(double io_reduction = 0.5);
+/// §7.1 fast device memory: PIO copy at `pio_copy_ns`.
+Overlay fast_device_memory(double pio_copy_ns = 15.0);
+/// §7.2 Gen-Z-class switch.
+Overlay genz_switch(double switch_ns = 30.0);
+/// §7.2 PAM4+FEC wire: +`extra_wire_ns` latency, 2x serialization rate.
+Overlay pam4_fec_wire(double extra_wire_ns = 300.0);
+/// Tofu-D-like integration (80% I/O reduction).
+Overlay tofu_d_like();
+/// DoorBell + DMA descriptor/payload path instead of PIO+inline.
+Overlay doorbell_dma();
+/// One CQE per `period` ops.
+Overlay unsignaled_completions(std::uint32_t period = 64);
+/// Total-store-order CPU: the LLP_post store barriers vanish.
+Overlay tso_cpu();
+/// Strip all stochastic jitter from the CPU cost model.
+Overlay deterministic();
+/// Enable fault injection with an explicit plan.
+Overlay faults(fault::FaultConfig f);
+/// Convenience: uniform TLP corruption BER (the common ablation axis).
+Overlay faults(double tlp_corrupt_prob);
+
+}  // namespace overlays
+
+/// Apply a named overlay: relabel per the Overlay rule, then transform.
+void apply_overlay(SystemConfig& c, const overlays::Overlay& o);
+/// A raw FaultConfig composes directly: `cfg.with(fault_cfg)`.
+void apply_overlay(SystemConfig& c, const fault::FaultConfig& f);
+/// Any callable taking SystemConfig& composes as an anonymous overlay.
+template <typename F>
+  requires std::invocable<F&, SystemConfig&>
+void apply_overlay(SystemConfig& c, F&& f) {
+  f(c);
+}
+
 namespace presets {
+// Named single-change machines, kept as thin wrappers over
+// thunderx2_cx4().with(overlays::...) so existing binaries compile (and
+// report the same scenario names) unchanged.
 
 /// The paper's testbed (§3). Identical to a default-constructed config.
 SystemConfig thunderx2_cx4();
+
+/// Fault-injection ablation machine: the testbed with `f` enabled.
+SystemConfig faulty_testbed(fault::FaultConfig f);
 
 /// §7.1 "NIC integrated into a System-on-Chip": scales the whole I/O
 /// subsystem (PCIe latency and RC-to-MEM) down by `io_reduction`.

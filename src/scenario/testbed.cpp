@@ -9,14 +9,23 @@ Testbed::Node::Node(sim::Simulator& sim, net::Fabric& fabric,
     : core(sim, cfg.cpu, id == 0 ? "core0" : "core1"),
       profiler(core),
       host(),
-      link(sim, cfg.link, tap),
+      // Each node gets a private fault stream derived from the system
+      // seed and the node id, so two-node runs stay deterministic and the
+      // nodes' fault sequences are decorrelated.
+      injector(cfg.fault, cfg.seed + 0x9E3779B9u * (id + 1u)),
+      link(sim, cfg.link, tap, cfg.fault.enabled() ? &injector : nullptr),
       rc(sim, link, cfg.rc),
       nic(sim, link, fabric, id, cfg.nic, host),
       worker(core, host, cfg.llp_worker),
       cq_interrupt(sim) {
   worker.set_profiler(&profiler);
+  if (cfg.fault.enabled()) {
+    nic.set_fault_stats(&injector.stats());
+    worker.set_fault_stats(&injector.stats());
+  }
   host.set_commit_hook([this] { cq_interrupt.fire(); });
   rc.set_memory_sink([this](const pcie::Tlp& tlp, TimePs visible_at) {
+    if (tlp.poisoned) ++injector.stats().poisoned_delivered;
     host.commit_write(tlp, visible_at);
   });
   rc.set_read_provider([this](const pcie::ReadRequest& req) {
@@ -33,6 +42,35 @@ Testbed::Testbed(SystemConfig cfg)
 Testbed::Node& Testbed::node(int i) {
   BB_ASSERT(i == 0 || i == 1);
   return *nodes_[i];
+}
+
+fault::FaultStats Testbed::fault_stats() const {
+  fault::FaultStats merged = nodes_[0]->injector.stats();
+  merged.merge(nodes_[1]->injector.stats());
+  return merged;
+}
+
+std::string Testbed::fault_report() const {
+  return fault_stats().render("Fault report: " + cfg_.name);
+}
+
+void Testbed::publish_fault_counters() {
+  const fault::FaultStats s = fault_stats();
+  prof::Profiler& p = nodes_[0]->profiler;
+  p.note_count("fault.tlps_corrupted", s.tlps_corrupted);
+  p.note_count("fault.tlps_dropped", s.tlps_dropped);
+  p.note_count("fault.acks_dropped", s.acks_dropped);
+  p.note_count("fault.updatefc_dropped", s.updatefc_dropped);
+  p.note_count("fault.naks_sent", s.naks_sent);
+  p.note_count("fault.replays", s.replays);
+  p.note_count("fault.replay_timeouts", s.replay_timeouts);
+  p.note_count("fault.duplicates_dropped", s.duplicates_dropped);
+  p.note_count("fault.fc_reemissions", s.fc_reemissions);
+  p.note_count("fault.poisoned_tlps", s.poisoned_tlps);
+  p.note_count("fault.poisoned_delivered", s.poisoned_delivered);
+  p.note_count("fault.error_cqes", s.error_cqes);
+  p.note_count("fault.read_retries", s.read_retries);
+  p.note_count("fault.busy_post_retries", s.busy_post_retries);
 }
 
 llp::Endpoint& Testbed::add_endpoint(int node_id,

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "cpu/core.hpp"
+#include "fault/fault.hpp"
 #include "llp/endpoint.hpp"
 #include "llp/worker.hpp"
 #include "net/fabric.hpp"
@@ -33,6 +34,9 @@ class Testbed {
     cpu::Core core;
     prof::Profiler profiler;
     nic::HostMemory host;
+    /// Per-node fault injector (inert when cfg.fault is disabled); must
+    /// precede `link`, which captures it at construction.
+    fault::FaultInjector injector;
     pcie::Link link;
     pcie::RootComplex rc;
     nic::Nic nic;
@@ -50,6 +54,14 @@ class Testbed {
   /// The analyzer tapping node 0's link (§3: "just before the NIC").
   pcie::Analyzer& analyzer() { return analyzer_; }
   Node& node(int i);
+
+  /// Merged fault/recovery accounting across both nodes' injectors.
+  fault::FaultStats fault_stats() const;
+  /// Rendered fault report (empty table when injection is disabled).
+  std::string fault_report() const;
+  /// Exports the merged fault stats as `fault.*` counters on node 0's
+  /// profiler, so `profiler.report()` shows them next to timing regions.
+  void publish_fault_counters();
 
   /// Creates an endpoint on `node_id` targeting the peer, using the config
   /// template (optionally overridden). Returned reference is stable.

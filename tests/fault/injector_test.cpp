@@ -1,0 +1,119 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bb::fault {
+namespace {
+
+using TlpFate = FaultInjector::TlpFate;
+
+TEST(FaultConfig, DisabledByDefault) {
+  FaultConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST(FaultConfig, AnyRateOrScheduleEnables) {
+  FaultConfig cfg;
+  cfg.tlp_corrupt_prob = 1e-6;
+  EXPECT_TRUE(cfg.enabled());
+
+  FaultConfig sched;
+  sched.scheduled.push_back({OneShot::Kind::kDropTlp, LinkDir::kDownstream, 7});
+  EXPECT_TRUE(sched.enabled());
+
+  FaultConfig zero;
+  zero.tlp_corrupt_prob = 0.0;
+  EXPECT_FALSE(zero.enabled());
+}
+
+TEST(FaultInjector, SameSeedSameDecisionStream) {
+  FaultConfig cfg;
+  cfg.tlp_corrupt_prob = 0.3;
+  cfg.tlp_drop_prob = 0.2;
+  auto fates = [&cfg](std::uint64_t seed) {
+    FaultInjector inj(cfg, seed);
+    std::vector<TlpFate> out;
+    for (std::uint64_t s = 1; s <= 500; ++s) {
+      out.push_back(inj.tlp_fate(LinkDir::kDownstream, s, 0));
+    }
+    return out;
+  };
+  EXPECT_EQ(fates(42), fates(42));
+  EXPECT_NE(fates(42), fates(43));
+}
+
+TEST(FaultInjector, BerRatesRoughlyMatchConfigured) {
+  FaultConfig cfg;
+  cfg.tlp_corrupt_prob = 0.25;
+  FaultInjector inj(cfg, 1);
+  for (std::uint64_t s = 1; s <= 10000; ++s) {
+    (void)inj.tlp_fate(LinkDir::kUpstream, s, 0);
+  }
+  const double rate =
+      static_cast<double>(inj.stats().tlps_corrupted) / 10000.0;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  EXPECT_EQ(inj.stats().tlps_dropped, 0u);
+}
+
+TEST(FaultInjector, OneShotCorruptFiresExactlyOnce) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back(
+      {OneShot::Kind::kCorruptTlp, LinkDir::kDownstream, 3});
+  FaultInjector inj(cfg, 7);
+  EXPECT_EQ(inj.tlp_fate(LinkDir::kDownstream, 1, 0), TlpFate::kDeliver);
+  EXPECT_EQ(inj.tlp_fate(LinkDir::kDownstream, 2, 0), TlpFate::kDeliver);
+  // Wrong direction is not consumed.
+  EXPECT_EQ(inj.tlp_fate(LinkDir::kUpstream, 3, 0), TlpFate::kDeliver);
+  EXPECT_EQ(inj.tlp_fate(LinkDir::kDownstream, 3, 0), TlpFate::kCorrupt);
+  // The retransmission of the same sequence is clean.
+  EXPECT_EQ(inj.tlp_fate(LinkDir::kDownstream, 3, 1), TlpFate::kDeliver);
+  EXPECT_EQ(inj.stats().tlps_corrupted, 1u);
+}
+
+TEST(FaultInjector, KillTlpCorruptsEveryAttempt) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back({OneShot::Kind::kKillTlp, LinkDir::kUpstream, 2});
+  FaultInjector inj(cfg, 7);
+  EXPECT_EQ(inj.tlp_fate(LinkDir::kUpstream, 1, 0), TlpFate::kDeliver);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(inj.tlp_fate(LinkDir::kUpstream, 2, attempt), TlpFate::kCorrupt);
+  }
+  EXPECT_EQ(inj.stats().tlps_corrupted, 5u);
+}
+
+TEST(FaultInjector, ScheduledDllpDropsCountOrdinals) {
+  FaultConfig cfg;
+  cfg.scheduled.push_back(
+      {OneShot::Kind::kDropUpdateFC, LinkDir::kDownstream, 2});
+  cfg.scheduled.push_back({OneShot::Kind::kDropAck, LinkDir::kUpstream, 1});
+  FaultInjector inj(cfg, 7);
+  EXPECT_FALSE(inj.drop_updatefc(LinkDir::kDownstream));  // 1st
+  EXPECT_TRUE(inj.drop_updatefc(LinkDir::kDownstream));   // 2nd: scheduled
+  EXPECT_FALSE(inj.drop_updatefc(LinkDir::kDownstream));  // 3rd
+  EXPECT_TRUE(inj.drop_ack(LinkDir::kUpstream));
+  EXPECT_FALSE(inj.drop_ack(LinkDir::kUpstream));
+  EXPECT_EQ(inj.stats().updatefc_dropped, 1u);
+  EXPECT_EQ(inj.stats().acks_dropped, 1u);
+}
+
+TEST(FaultStats, MergeAndConservationHelpers) {
+  FaultStats a;
+  a.tlps_corrupted = 2;
+  a.replays = 3;
+  FaultStats b;
+  b.updatefc_dropped = 1;
+  b.fc_reemissions = 1;
+  b.error_cqes = 4;
+  a.merge(b);
+  EXPECT_EQ(a.injected(), 3u);
+  EXPECT_EQ(a.recovered(), 8u);
+  // render() is a smoke check: must contain a known row label.
+  EXPECT_NE(a.render("T").find("replays"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bb::fault

@@ -17,7 +17,7 @@ TEST(Mpi, IsendCostsPostPath) {
   MpiStack s(tb, 0);
   tb.node(1).nic.post_receives(4);
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
-    Request* r = co_await st.mpi().isend(8);
+    Request* r = (co_await st.mpi().isend(8)).value();
     // Post = HLP_post (26.56) + LLP_post (175.42) = 201.98 (§6).
     EXPECT_NEAR(st.node().core.virtual_now().to_ns(), 201.98, 1e-6);
     EXPECT_TRUE(r->complete);
@@ -38,7 +38,7 @@ TEST(Mpi, PingPongRoundTrip) {
     // Warm-up iteration excluded from timing.
     const double t0 = st.node().core.virtual_now().to_ns();
     for (int i = 0; i < iters; ++i) {
-      Request* rr = st.mpi().irecv(8);
+      Request* rr = st.mpi().irecv(8).value();
       (void)co_await st.mpi().isend(8);
       co_await st.mpi().wait(rr);
     }
@@ -47,7 +47,7 @@ TEST(Mpi, PingPongRoundTrip) {
 
   tb.sim().spawn([](MpiStack& st, int iters) -> sim::Task<void> {
     for (int i = 0; i < iters; ++i) {
-      Request* rr = st.mpi().irecv(8);
+      Request* rr = st.mpi().irecv(8).value();
       co_await st.mpi().wait(rr);
       (void)co_await st.mpi().isend(8);
     }
@@ -74,7 +74,7 @@ TEST(Mpi, SuccessfulWaitCostMatchesTable1Composition) {
 
   double wait_cost = -1;
   tb.sim().spawn([](Testbed& t, MpiStack& st, double& out) -> sim::Task<void> {
-    Request* r = st.mpi().irecv(8);
+    Request* r = st.mpi().irecv(8).value();
     co_await st.node().core.flush();
     co_await t.sim().delay(5_us);  // message arrives during this idle gap
     const double t0 = st.node().core.virtual_now().to_ns();
@@ -96,7 +96,7 @@ TEST(Mpi, WaitallChargesPerOpBookkeeping) {
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
     std::vector<Request*> reqs;
     for (int i = 0; i < 8; ++i) {
-      reqs.push_back(co_await st.mpi().isend(8));
+      reqs.push_back((co_await st.mpi().isend(8)).value());
     }
     const double t0 = st.node().core.virtual_now().to_ns();
     co_await st.mpi().waitall(reqs);
@@ -117,7 +117,7 @@ TEST(Mpi, WaitallDrivesPendingSendsToCompletion) {
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
     std::vector<Request*> reqs;
     for (int i = 0; i < 16; ++i) {
-      reqs.push_back(co_await st.mpi().isend(8));
+      reqs.push_back((co_await st.mpi().isend(8)).value());
     }
     co_await st.mpi().waitall(reqs);
     for (Request* r : reqs) EXPECT_TRUE(r->complete);
@@ -165,7 +165,7 @@ TEST(Mpi, MessageRateWindowLoopSustains) {
       std::vector<Request*> reqs;
       reqs.reserve(static_cast<std::size_t>(window));
       for (int i = 0; i < window; ++i) {
-        reqs.push_back(co_await st.mpi().isend(8));
+        reqs.push_back((co_await st.mpi().isend(8)).value());
       }
       co_await st.mpi().waitall(reqs);
     }

@@ -17,7 +17,7 @@ TEST(Ucp, ShortSendCompletesLocally) {
   MpiStack s(tb, 0);
   tb.node(1).nic.post_receives(4);
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
-    Request* r = co_await st.ucp().tag_send_nb(8);
+    Request* r = (co_await st.ucp().tag_send_nb(8)).value();
     // Inlined short send: complete as soon as the LLP post succeeded.
     EXPECT_TRUE(r->complete);
     EXPECT_FALSE(r->pending);
@@ -45,8 +45,8 @@ TEST(Ucp, BusyPostPendsAndProgressRetries) {
   MpiStack s(tb, 0, /*signal_period=*/1);
   tb.node(1).nic.post_receives(8);
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
-    Request* a = co_await st.ucp().tag_send_nb(8);
-    Request* b = co_await st.ucp().tag_send_nb(8);
+    Request* a = (co_await st.ucp().tag_send_nb(8)).value();
+    Request* b = (co_await st.ucp().tag_send_nb(8)).value();
     EXPECT_TRUE(a->complete);
     EXPECT_FALSE(b->complete);
     EXPECT_TRUE(b->pending);
@@ -75,7 +75,7 @@ TEST(Ucp, PendingSendsPreserveOrder) {
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
     std::vector<Request*> reqs;
     for (int i = 0; i < 4; ++i) {
-      reqs.push_back(co_await st.ucp().tag_send_nb(8));
+      reqs.push_back((co_await st.ucp().tag_send_nb(8)).value());
     }
     for (Request* r : reqs) {
       while (!r->complete) co_await st.ucp().progress();
@@ -101,7 +101,7 @@ TEST(Ucp, RecvMatchesInboundMessage) {
     (void)co_await st.ucp().tag_send_nb(8);
   }(tx));
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
-    Request* r = st.ucp().tag_recv_nb(8);
+    Request* r = st.ucp().tag_recv_nb(8).value();
     while (!r->complete) co_await st.ucp().progress();
     EXPECT_EQ(st.ucp().recvs_completed(), 1u);
   }(rx));
@@ -125,7 +125,7 @@ TEST(Ucp, UnexpectedMessageMatchedByLaterRecv) {
     }
     EXPECT_EQ(st.ucp().recvs_completed(), 0u);
     // A late recv matches the unexpected message immediately.
-    Request* r = st.ucp().tag_recv_nb(8);
+    Request* r = st.ucp().tag_recv_nb(8).value();
     EXPECT_TRUE(r->complete);
     EXPECT_EQ(st.ucp().recvs_completed(), 1u);
   }(tb, rx));
@@ -147,7 +147,7 @@ TEST(Ucp, RxCallbackChainChargesUcpThenUpper) {
     (void)co_await st.ucp().tag_send_nb(8);
   }(tx));
   tb.sim().spawn([](MpiStack& st) -> sim::Task<void> {
-    Request* r = st.ucp().tag_recv_nb(8);
+    Request* r = st.ucp().tag_recv_nb(8).value();
     while (!r->complete) co_await st.ucp().progress();
   }(rx));
   tb.sim().run();

@@ -37,7 +37,7 @@ double measure_rx_region(const std::string& mpi_wrap,
   }(tx));
   tb.sim().spawn([](Testbed& t, MpiStack& st) -> sim::Task<void> {
     for (int i = 0; i < 4; ++i) {
-      Request* r = st.mpi().irecv(8);
+      Request* r = st.mpi().irecv(8).value();
       co_await st.node().core.flush();
       const TimePs target = TimePs::from_ns(10e3) * i + 5_us;
       if (target > t.sim().now()) co_await t.sim().delay(target - t.sim().now());

@@ -24,10 +24,10 @@ TEST(FullStack, BidirectionalMpiStress) {
 
   auto rank = [](MpiStack& st, int n) -> sim::Task<void> {
     std::vector<hlp::Request*> recvs;
-    for (int i = 0; i < n; ++i) recvs.push_back(st.mpi().irecv(8));
+    for (int i = 0; i < n; ++i) recvs.push_back(st.mpi().irecv(8).value());
     std::vector<hlp::Request*> sends;
     for (int i = 0; i < n; ++i) {
-      sends.push_back(co_await st.mpi().isend(8));
+      sends.push_back((co_await st.mpi().isend(8)).value());
       if (i % 16 == 15) co_await st.ucp().progress();
     }
     co_await st.mpi().waitall(sends);

@@ -104,7 +104,7 @@ TEST(Cluster, MpiRingExchange) {
   int done = 0;
   for (int r = 0; r < kNodes; ++r) {
     cl.sim().spawn([](MpiStack& st, int& d) -> sim::Task<void> {
-      hlp::Request* rr = st.mpi().irecv(8);
+      hlp::Request* rr = st.mpi().irecv(8).value();
       (void)co_await st.mpi().isend(8);
       co_await st.mpi().wait(rr);
       ++d;
