@@ -16,7 +16,9 @@
 #include <cstdlib>
 #include <new>
 
+#include "benchlib/osu_coll.hpp"
 #include "benchlib/put_bw.hpp"
+#include "scenario/cluster.hpp"
 #include "scenario/testbed.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
@@ -175,6 +177,24 @@ void BM_PutBwSimulationThroughput(benchmark::State& state) {
   state.SetLabel("simulated messages");
 }
 BENCHMARK(BM_PutBwSimulationThroughput)->Arg(2000);
+
+// Collective throughput: an 8-rank allreduce drives 8 MPI stacks, 56
+// peer endpoints, and the coroutine schedules in bb::coll -- the densest
+// event mix the repo produces. Items = simulated collective operations.
+void BM_CollAllreduceThroughput(benchmark::State& state) {
+  const auto iters = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    scenario::Cluster cl(scenario::presets::deterministic(), 8);
+    coll::World world(cl);
+    bench::OsuColl bench(world, bench::OsuColl::Kind::kAllreduce,
+                         {.iterations = iters, .warmup = 2, .bytes = 256});
+    const auto res = bench.run();
+    benchmark::DoNotOptimize(res.iterations);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(iters));
+  state.SetLabel("simulated allreduces");
+}
+BENCHMARK(BM_CollAllreduceThroughput)->Arg(20);
 
 }  // namespace
 

@@ -1,0 +1,138 @@
+// Rank-count sweep: runs each collective's two algorithm families side
+// by side from 2 to 16 ranks (non-powers-of-two included) and prints
+// simulated next to modeled latency, so the algorithm-selection
+// thresholds in CollTuning can be read straight off the crossovers.
+//
+// Validation is intentionally loose here: the hard model band lives in
+// bench_coll_osu. This sweep asserts only structural facts -- both
+// algorithms complete everywhere, and the model ranks the algorithms in
+// the same order as the simulator at the sweep endpoints.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "benchlib/osu_coll.hpp"
+#include "model/alpha_beta.hpp"
+#include "scenario/cluster.hpp"
+#include "util.hpp"
+
+namespace {
+
+using bb::bench::OsuColl;
+using bb::bench::OsuCollConfig;
+using bb::coll::Algo;
+
+double simulate(const bb::scenario::SystemConfig& cfg, int ranks,
+                OsuColl::Kind kind, std::uint32_t bytes, Algo algo,
+                std::uint64_t iterations) {
+  bb::scenario::Cluster cl(cfg, ranks);
+  bb::coll::World world(cl);
+  OsuCollConfig c;
+  c.bytes = bytes;
+  c.iterations = iterations;
+  c.warmup = iterations / 4 + 1;
+  c.algo = algo;
+  OsuColl bench(world, kind, c);
+  return bench.run().mean_ns();
+}
+
+struct Pair {
+  const char* title;
+  OsuColl::Kind kind;
+  std::uint32_t bytes;
+  Algo a;
+  Algo b;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  bbench::header("bench_sweep_ranks: algorithm families across rank counts",
+                 "selection thresholds in the spirit of MPICH/UCX tuning");
+
+  const bb::scenario::SystemConfig cfg = bb::scenario::presets::deterministic();
+  bb::model::CollModel model(cfg);
+  const std::uint64_t iters = smoke ? 6 : 24;
+  const std::vector<int> ranks =
+      smoke ? std::vector<int>{2, 5, 8} : std::vector<int>{2, 3, 4, 5, 6, 8, 11, 13, 16};
+
+  const std::vector<Pair> pairs = {
+      {"barrier 8B", OsuColl::Kind::kBarrier, 8, Algo::kDissemination,
+       Algo::kRingToken},
+      {"bcast 4KiB", OsuColl::Kind::kBcast, 4096, Algo::kBinomialTree,
+       Algo::kChain},
+      {"allgather 64B", OsuColl::Kind::kAllgather, 64, Algo::kBruck,
+       Algo::kRingAllgather},
+      {"allreduce 2KiB", OsuColl::Kind::kAllreduce, 2048,
+       Algo::kRecursiveDoubling, Algo::kRingAllreduce},
+  };
+
+  bbench::Validator v;
+
+  for (const Pair& p : pairs) {
+    std::printf("%s\n", p.title);
+    std::printf("  %5s | %14s %14s | %14s %14s\n", "ranks",
+                bb::coll::algo_name(p.a), "(model)", bb::coll::algo_name(p.b),
+                "(model)");
+    double first_sim_a = 0, first_sim_b = 0, last_sim_a = 0, last_sim_b = 0;
+    double first_mdl_a = 0, first_mdl_b = 0, last_mdl_a = 0, last_mdl_b = 0;
+    for (int n : ranks) {
+      const double sa = simulate(cfg, n, p.kind, p.bytes, p.a, iters);
+      const double sb = simulate(cfg, n, p.kind, p.bytes, p.b, iters);
+      double ma = 0, mb = 0;
+      switch (p.kind) {
+        case OsuColl::Kind::kBarrier:
+          ma = model.barrier_ns(n, p.a);
+          mb = model.barrier_ns(n, p.b);
+          break;
+        case OsuColl::Kind::kBcast:
+          ma = model.bcast_ns(n, p.bytes, p.a);
+          mb = model.bcast_ns(n, p.bytes, p.b);
+          break;
+        case OsuColl::Kind::kAllgather:
+          ma = model.allgather_ns(n, p.bytes, p.a);
+          mb = model.allgather_ns(n, p.bytes, p.b);
+          break;
+        case OsuColl::Kind::kAllreduce:
+          ma = model.allreduce_ns(n, p.bytes, p.a);
+          mb = model.allreduce_ns(n, p.bytes, p.b);
+          break;
+      }
+      std::printf("  %5d | %14.1f %14.1f | %14.1f %14.1f\n", n, sa, ma, sb,
+                  mb);
+      v.is_true("simulated latency positive", sa > 0 && sb > 0);
+      if (n == ranks.front()) {
+        first_sim_a = sa;
+        first_sim_b = sb;
+        first_mdl_a = ma;
+        first_mdl_b = mb;
+      }
+      if (n == ranks.back()) {
+        last_sim_a = sa;
+        last_sim_b = sb;
+        last_mdl_a = ma;
+        last_mdl_b = mb;
+      }
+    }
+    // The model must agree with the simulator about which algorithm wins
+    // at the endpoints of the sweep (that agreement is what makes the
+    // CollTuning thresholds trustworthy).
+    char what[96];
+    std::snprintf(what, sizeof(what), "%s: model orders algos like sim (n=%d)",
+                  p.title, ranks.front());
+    v.is_true(what,
+              (first_sim_a <= first_sim_b) == (first_mdl_a <= first_mdl_b));
+    std::snprintf(what, sizeof(what), "%s: model orders algos like sim (n=%d)",
+                  p.title, ranks.back());
+    v.is_true(what, (last_sim_a <= last_sim_b) == (last_mdl_a <= last_mdl_b));
+    std::printf("\n");
+  }
+
+  return v.finish();
+}

@@ -5,10 +5,13 @@
 //   bbsim am_lat   [preset] [count]    # UCX ping-pong latency test
 //   bbsim osu_mr   [preset] [windows]  # OSU message rate (MPI)
 //   bbsim osu_lat  [preset] [count]    # OSU pt2pt latency (MPI)
+//   bbsim coll     [preset] [ranks] [bytes] [collective]
+//                                      # OSU collective latency (bb::coll)
 //   bbsim list                         # available presets
 //
-// Example:
+// Examples:
 //   bbsim am_lat genz-switch 2000
+//   bbsim coll genz-switch 8 1024 allreduce
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,8 +22,11 @@
 
 #include "benchlib/am_lat.hpp"
 #include "benchlib/osu.hpp"
+#include "benchlib/osu_coll.hpp"
 #include "benchlib/put_bw.hpp"
 #include "core/models.hpp"
+#include "model/alpha_beta.hpp"
+#include "scenario/cluster.hpp"
 #include "scenario/testbed.hpp"
 
 using namespace bb;
@@ -44,9 +50,11 @@ std::map<std::string, std::function<scenario::SystemConfig()>> presets() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <put_bw|am_lat|osu_mr|osu_lat|list> "
-               "[preset] [count]\n",
-               argv0);
+               "usage: %s <put_bw|am_lat|osu_mr|osu_lat|coll|list> "
+               "[preset] [count]\n"
+               "       %s coll [preset] [ranks] [bytes] "
+               "[barrier|bcast|allgather|allreduce]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -126,6 +134,52 @@ int main(int argc, char** argv) {
                 res.adjusted_mean_ns);
     std::printf("  modelled e2e latency:        %.2f ns\n",
                 core::LatencyModel(table).e2e_latency_ns());
+    return 0;
+  }
+  if (cmd == "coll") {
+    const int ranks = count ? static_cast<int>(count) : 8;
+    const std::uint32_t bytes =
+        argc > 4 ? static_cast<std::uint32_t>(std::strtoul(argv[4], nullptr, 10))
+                 : 1024;
+    const std::string which = argc > 5 ? argv[5] : "allreduce";
+    bench::OsuColl::Kind kind;
+    if (which == "barrier") {
+      kind = bench::OsuColl::Kind::kBarrier;
+    } else if (which == "bcast") {
+      kind = bench::OsuColl::Kind::kBcast;
+    } else if (which == "allgather") {
+      kind = bench::OsuColl::Kind::kAllgather;
+    } else if (which == "allreduce") {
+      kind = bench::OsuColl::Kind::kAllreduce;
+    } else {
+      return usage(argv[0]);
+    }
+    if (ranks < 2 || bytes < 8 || bytes % 8 != 0) {
+      std::fprintf(stderr, "coll needs ranks >= 2 and bytes a multiple of 8\n");
+      return 2;
+    }
+    scenario::Cluster cl(cfg, ranks);
+    coll::World world(cl);
+    bench::OsuColl b(world, kind, {.iterations = 40, .warmup = 10,
+                                   .bytes = bytes});
+    const double sim_ns = b.run().mean_ns();
+    const model::CollModel m(cfg);
+    double model_ns = 0;
+    switch (kind) {
+      case bench::OsuColl::Kind::kBarrier: model_ns = m.barrier_ns(ranks); break;
+      case bench::OsuColl::Kind::kBcast: model_ns = m.bcast_ns(ranks, bytes); break;
+      case bench::OsuColl::Kind::kAllgather:
+        model_ns = m.allgather_ns(ranks, bytes);
+        break;
+      case bench::OsuColl::Kind::kAllreduce:
+        model_ns = m.allreduce_ns(ranks, bytes);
+        break;
+    }
+    std::printf("%s on %s: %d ranks, %u bytes\n", which.c_str(),
+                cfg.name.c_str(), ranks, bytes);
+    std::printf("  simulated latency: %.2f ns\n", sim_ns);
+    std::printf("  alpha-beta model:  %.2f ns (%+.1f%%)\n", model_ns,
+                (model_ns - sim_ns) / sim_ns * 100.0);
     return 0;
   }
   return usage(argv[0]);

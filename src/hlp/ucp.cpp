@@ -7,8 +7,10 @@ namespace bb::hlp {
 UcpWorker::UcpWorker(llp::Worker& uct_worker, llp::Endpoint& endpoint,
                      UcpConfig cfg)
     : uct_worker_(uct_worker), endpoint_(endpoint), cfg_(cfg) {
-  uct_worker_.set_rx_handler(
-      [this](const nic::Cqe& cqe) { on_rx_completion(cqe); });
+  if (cfg_.attach_rx) {
+    uct_worker_.set_rx_handler(
+        [this](const nic::Cqe& cqe) { on_rx_completion(cqe); });
+  }
 }
 
 Request* UcpWorker::new_request(Request::Kind kind, std::uint32_t bytes) {
@@ -22,7 +24,11 @@ Request* UcpWorker::new_request(Request::Kind kind, std::uint32_t bytes) {
 }
 
 sim::Task<common::Status> UcpWorker::try_post(Request* req) {
-  const llp::Status st = co_await endpoint_.am_short(req->bytes);
+  // Tagged (multi-peer) mode stamps the source rank so the receiver's
+  // RxMux can route; untagged eager messages keep the legacy user_data 0.
+  const std::uint64_t ud =
+      cfg_.src_rank < 0 ? 0 : header(Ctrl::kEager, 0, req->bytes);
+  const llp::Status st = co_await endpoint_.am_short(req->bytes, ud);
   if (st == llp::Status::kOk) {
     // Inlined short send: locally complete once the payload left the CPU.
     req->pending = false;
@@ -170,6 +176,17 @@ sim::Task<void> UcpWorker::progress_rndv() {
     op.req->complete = true;
     ++sends_completed_;
     rndv_tx_ready_.pop_front();
+  }
+}
+
+sim::Task<void> UcpWorker::progress_pending() {
+  while (!pending_sends_.empty()) {
+    Request* req = pending_sends_.front();
+    if (co_await try_post(req) != common::Status::kOk) break;
+    pending_sends_.pop_front();
+  }
+  if (!pending_ctrl_.empty() || !rndv_tx_ready_.empty()) {
+    co_await progress_rndv();
   }
 }
 

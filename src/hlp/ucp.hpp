@@ -35,6 +35,13 @@ struct UcpConfig {
   /// inline path; the payload crosses the wire exactly once, at the cost
   /// of an extra control round trip. UCX-like default.
   std::uint32_t rndv_threshold = 1024;
+  /// Source rank stamped into every outgoing message header so a
+  /// receiving node with several peers can demultiplex (RxMux). -1 keeps
+  /// the legacy two-node wire format: eager messages carry user_data 0.
+  int src_rank = -1;
+  /// When false the worker does not claim the LLP worker's RX handler;
+  /// an RxMux owns it instead and routes by source rank.
+  bool attach_rx = true;
 };
 
 class UcpWorker {
@@ -69,6 +76,26 @@ class UcpWorker {
   /// number of UCT completions processed.
   sim::Task<std::uint32_t> progress();
 
+  /// Drives this worker's queued work (busy-post retries, rendezvous
+  /// control and data) WITHOUT a UCT pass and without charging the
+  /// per-pass UCP cost -- the building block a multi-endpoint progress
+  /// engine (coll::Communicator) composes around one shared
+  /// uct_worker_progress per pass.
+  sim::Task<void> progress_pending();
+  /// Work progress_pending() would drive.
+  bool has_pending_work() const {
+    return !pending_sends_.empty() || !pending_ctrl_.empty() ||
+           !rndv_tx_ready_.empty();
+  }
+
+  /// RxMux entry point: an RX completion routed to this worker.
+  void deliver(const nic::Cqe& cqe) { on_rx_completion(cqe); }
+  /// Source rank carried in a message header (-1 for untagged legacy
+  /// traffic).
+  static int src_rank_of(std::uint64_t user_data) {
+    return static_cast<int>((user_data >> 56) & 0x3Full) - 1;
+  }
+
   std::size_t pending_sends() const { return pending_sends_.size(); }
   std::uint64_t sends_completed() const { return sends_completed_; }
   std::uint64_t recvs_completed() const { return recvs_completed_; }
@@ -80,14 +107,20 @@ class UcpWorker {
   const std::string& wrap() const { return wrap_; }
 
  private:
-  // Rendezvous control headers ride in the messages' immediate data.
+  // Control headers ride in the messages' immediate data. Layout:
+  // ctrl(2)@62 | src+1(6)@56 | seq(24)@32 | bytes(32)@0. The source
+  // field is 0 for untagged (two-node) traffic; tagged workers stamp
+  // rank+1, bounding a demultiplexed job at 63 ranks.
   enum class Ctrl : std::uint64_t { kEager = 0, kRts = 1, kCts = 2, kFin = 3 };
-  static std::uint64_t header(Ctrl c, std::uint64_t seq, std::uint32_t bytes) {
-    return (static_cast<std::uint64_t>(c) << 62) | (seq << 32) | bytes;
+  std::uint64_t header(Ctrl c, std::uint64_t seq, std::uint32_t bytes) const {
+    const std::uint64_t src =
+        cfg_.src_rank < 0 ? 0 : static_cast<std::uint64_t>(cfg_.src_rank) + 1;
+    return (static_cast<std::uint64_t>(c) << 62) | (src << 56) |
+           ((seq & 0xFFFFFFull) << 32) | bytes;
   }
   static Ctrl ctrl_of(std::uint64_t h) { return static_cast<Ctrl>(h >> 62); }
   static std::uint64_t seq_of(std::uint64_t h) {
-    return (h >> 32) & 0x3FFFFFFFull;
+    return (h >> 32) & 0xFFFFFFull;
   }
   static std::uint32_t bytes_of(std::uint64_t h) {
     return static_cast<std::uint32_t>(h & 0xFFFFFFFFull);

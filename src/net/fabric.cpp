@@ -10,6 +10,7 @@ Fabric::Fabric(sim::Simulator& sim, NetParams params, int node_count)
   handlers_.resize(static_cast<std::size_t>(node_count));
   next_free_.resize(static_cast<std::size_t>(node_count));
   last_arrival_.resize(static_cast<std::size_t>(node_count));
+  rx_next_free_.resize(static_cast<std::size_t>(node_count));
 }
 
 void Fabric::attach(int node, Handler h) {
@@ -30,6 +31,11 @@ void Fabric::send(NetPacket pkt) {
   last_arrival_[src] = arrive;
 
   const auto dst = static_cast<std::size_t>(pkt.dst_node);
+  if (params_.model_incast) {
+    // Converging flows drain one at a time through the receiver port.
+    arrive = std::max(arrive, rx_next_free_[dst]);
+    rx_next_free_[dst] = arrive + params_.serialize(pkt.payload_bytes);
+  }
   sim_.call_at(arrive, [this, dst, pkt = std::move(pkt)] {
     ++packets_delivered_;
     BB_ASSERT_MSG(handlers_[dst], "no NIC attached at destination node");

@@ -4,15 +4,17 @@
 
 namespace bb::scenario {
 
-Cluster::Cluster(SystemConfig cfg, int node_count)
+Cluster::Cluster(SystemConfig cfg, int node_count, int analyzer_node)
     : cfg_(std::move(cfg)),
       sim_(cfg_.seed),
-      fabric_(sim_, cfg_.net, node_count) {
+      fabric_(sim_, cfg_.net, node_count),
+      analyzer_node_(analyzer_node) {
   BB_ASSERT(node_count >= 2);
+  BB_ASSERT(analyzer_node >= 0 && analyzer_node < node_count);
   nodes_.reserve(static_cast<std::size_t>(node_count));
   for (int i = 0; i < node_count; ++i) {
-    nodes_.push_back(std::make_unique<Node>(sim_, fabric_, cfg_, i,
-                                            i == 0 ? &analyzer_ : nullptr));
+    nodes_.push_back(std::make_unique<Node>(
+        sim_, fabric_, cfg_, i, i == analyzer_node ? &analyzer_ : nullptr));
   }
 }
 

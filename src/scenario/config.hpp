@@ -14,6 +14,7 @@
 #include <string>
 #include <utility>
 
+#include "coll/tuning.hpp"
 #include "cpu/cost_model.hpp"
 #include "fault/fault.hpp"
 #include "llp/endpoint.hpp"
@@ -41,6 +42,8 @@ struct SystemConfig {
   /// scheduled one-shots). When disabled the testbed wires no injector
   /// and the simulation is bit-identical to the error-free machine.
   fault::FaultConfig fault;
+  /// Collective algorithm-selection thresholds (bb::coll).
+  coll::CollTuning coll;
 
   /// Compose overlays onto a copy of this config, left to right:
   ///   presets::thunderx2_cx4().with(overlays::genz_switch(30),
@@ -85,6 +88,10 @@ Overlay unsignaled_completions(std::uint32_t period = 64);
 Overlay tso_cpu();
 /// Strip all stochastic jitter from the CPU cost model.
 Overlay deterministic();
+/// Replace the collective algorithm-selection thresholds.
+Overlay coll_tuning(coll::CollTuning t);
+/// Model receiver-port occupancy under incast (off by default).
+Overlay incast_modeling(bool on = true);
 /// Enable fault injection with an explicit plan.
 Overlay faults(fault::FaultConfig f);
 /// Convenience: uniform TLP corruption BER (the common ablation axis).

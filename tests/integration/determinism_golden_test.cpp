@@ -16,8 +16,10 @@
 #include <tuple>
 
 #include "benchlib/am_lat.hpp"
+#include "benchlib/osu_coll.hpp"
 #include "benchlib/put_bw.hpp"
 #include "pcie/trace.hpp"
+#include "scenario/cluster.hpp"
 #include "scenario/testbed.hpp"
 
 namespace bb {
@@ -68,6 +70,26 @@ TEST(DeterminismGolden, AmLatOnThunderx2Cx4) {
   EXPECT_EQ(tb.sim().now().ps(), 1319178710);
   EXPECT_EQ(tb.analyzer().trace().size(), 4950u);
   EXPECT_EQ(trace_checksum(tb.analyzer().trace()), 0x99a7aa2d313a960eull);
+}
+
+// Collective determinism: an 8-rank allreduce schedule multiplexes four
+// peer endpoints per node over one shared progress engine -- far more
+// same-timestamp event pressure than the 2-node benches above. The
+// analyzer taps node 0's link (Cluster default).
+TEST(DeterminismGolden, AllreduceOnThunderx2Cx4) {
+  scenario::Cluster cl(scenario::presets::thunderx2_cx4(), 8);
+  cl.analyzer().set_enabled(true);
+  coll::World world(cl);
+  bench::OsuCollConfig cfg;
+  cfg.bytes = 256;
+  cfg.iterations = 20;
+  cfg.warmup = 5;
+  bench::OsuColl b(world, bench::OsuColl::Kind::kAllreduce, cfg);
+  (void)b.run();
+  EXPECT_EQ(cl.sim().events_processed(), 74216u);
+  EXPECT_EQ(cl.sim().now().ps(), 25006013113);
+  EXPECT_EQ(cl.analyzer().trace().size(), 1275u);
+  EXPECT_EQ(trace_checksum(cl.analyzer().trace()), 0x1c3fe29c0a532d44ull);
 }
 
 // Two runs with the same seed must agree event-for-event, independent of

@@ -95,5 +95,66 @@ TEST(Fabric, DirectionsDoNotInterfere) {
   EXPECT_NEAR(at1, p.network_latency().to_ns(), 1e-6);
 }
 
+TEST(Fabric, IncastOffConcurrentSendersLandTogether) {
+  sim::Simulator sim;
+  NetParams p;  // model_incast defaults to false
+  Fabric f(sim, p, 3);
+  std::vector<double> arrivals;
+  f.attach(0, [](const NetPacket&) {});
+  f.attach(2, [](const NetPacket&) {});
+  f.attach(1, [&](const NetPacket&) { arrivals.push_back(sim.now().to_ns()); });
+  pcie::WireMd md;
+  md.payload_bytes = 4096;
+  f.send(NetPacket::data(md, 0, 1));
+  f.send(NetPacket::data(md, 2, 1));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // The receiver port is an infinite sink: both flows land at pure
+  // latency, which is what keeps the two-node goldens bit-identical.
+  EXPECT_NEAR(arrivals[0], p.network_latency().to_ns(), 1e-6);
+  EXPECT_NEAR(arrivals[1], p.network_latency().to_ns(), 1e-6);
+}
+
+TEST(Fabric, IncastOnSerializesConvergingFlows) {
+  sim::Simulator sim;
+  NetParams p;
+  p.model_incast = true;
+  Fabric f(sim, p, 3);
+  std::vector<double> arrivals;
+  f.attach(0, [](const NetPacket&) {});
+  f.attach(2, [](const NetPacket&) {});
+  f.attach(1, [&](const NetPacket&) { arrivals.push_back(sim.now().to_ns()); });
+  pcie::WireMd md;
+  md.payload_bytes = 4096;
+  f.send(NetPacket::data(md, 0, 1));
+  f.send(NetPacket::data(md, 2, 1));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Distinct senders, common destination: the second flow queues behind
+  // the first for the receiver port's serialization time.
+  EXPECT_NEAR(arrivals[0], p.network_latency().to_ns(), 1e-6);
+  EXPECT_NEAR(arrivals[1] - arrivals[0], p.serialize(4096).to_ns(), 1e-6);
+}
+
+TEST(Fabric, IncastOnLeavesDisjointDestinationsAlone) {
+  sim::Simulator sim;
+  NetParams p;
+  p.model_incast = true;
+  Fabric f(sim, p, 4);
+  double at1 = -1, at3 = -1;
+  f.attach(0, [](const NetPacket&) {});
+  f.attach(2, [](const NetPacket&) {});
+  f.attach(1, [&](const NetPacket&) { at1 = sim.now().to_ns(); });
+  f.attach(3, [&](const NetPacket&) { at3 = sim.now().to_ns(); });
+  pcie::WireMd md;
+  md.payload_bytes = 4096;
+  f.send(NetPacket::data(md, 0, 1));
+  f.send(NetPacket::data(md, 2, 3));
+  sim.run();
+  // No shared receiver, no interference even with incast modeling on.
+  EXPECT_NEAR(at1, p.network_latency().to_ns(), 1e-6);
+  EXPECT_NEAR(at3, p.network_latency().to_ns(), 1e-6);
+}
+
 }  // namespace
 }  // namespace bb::net

@@ -129,6 +129,37 @@ TEST(Cluster, AnalyzerTapsNodeZeroOnly) {
   cl.sim().run();
   // Traffic between nodes 1 and 2 never crosses node 0's link.
   EXPECT_EQ(cl.analyzer().trace().size(), 0u);
+  EXPECT_EQ(cl.analyzer_node(), 0);
+}
+
+TEST(Cluster, AnalyzerPlaceableOnAnyNode) {
+  // Same traffic as above, but the analyzer rides node 1's link, where
+  // the sender's descriptor MMIO must show up.
+  Cluster cl(presets::deterministic(), 3, /*analyzer_node=*/1);
+  EXPECT_EQ(cl.analyzer_node(), 1);
+  auto& ep12 = cl.add_endpoint(1, 2);
+  cl.sim().spawn([](Cluster& c, llp::Endpoint& e) -> sim::Task<void> {
+    while (co_await e.put_short(8) != llp::Status::kOk) {
+      co_await c.node(1).worker.progress();
+    }
+    while (e.outstanding() > 0) co_await c.node(1).worker.progress();
+  }(cl, ep12));
+  cl.sim().run();
+  EXPECT_GT(cl.analyzer().trace().size(), 0u);
+}
+
+TEST(Cluster, AnalyzerOnBystanderNodeSeesNothing) {
+  // Analyzer on node 2, traffic strictly between 0 and 1.
+  Cluster cl(presets::deterministic(), 3, /*analyzer_node=*/2);
+  auto& ep01 = cl.add_endpoint(0, 1);
+  cl.sim().spawn([](Cluster& c, llp::Endpoint& e) -> sim::Task<void> {
+    while (co_await e.put_short(8) != llp::Status::kOk) {
+      co_await c.node(0).worker.progress();
+    }
+    while (e.outstanding() > 0) co_await c.node(0).worker.progress();
+  }(cl, ep01));
+  cl.sim().run();
+  EXPECT_EQ(cl.analyzer().trace().size(), 0u);
 }
 
 }  // namespace
