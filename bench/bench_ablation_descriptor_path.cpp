@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "benchlib/am_lat.hpp"
+#include "exec/sweep.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
 
@@ -32,13 +33,23 @@ PathResult run(bool pio, bool inline_payload) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_ablation_descriptor_path -- PIO+inline vs DoorBell+DMA",
                  "§2's descriptor-path discussion (design ablation)");
 
-  const PathResult pio = run(true, true);
-  const PathResult db_inline = run(false, true);
-  const PathResult db_dma = run(false, false);
+  struct Path {
+    bool pio;
+    bool inline_payload;
+  };
+  const auto res = exec::run_sweep(
+      exec::sweep<Path>({{true, true}, {false, true}, {false, false}}),
+      [](const Path& p, exec::Job&) { return run(p.pio, p.inline_payload); },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("descriptor-path ablation", res);
+
+  const PathResult pio = res.values[0];
+  const PathResult db_inline = res.values[1];
+  const PathResult db_dma = res.values[2];
 
   std::printf("%-28s %14s %12s\n", "path", "latency (ns)", "DMA reads");
   std::printf("%-28s %14.2f %12llu\n", "PIO + inline", pio.latency_ns,

@@ -17,6 +17,7 @@
 
 #include "benchlib/am_lat.hpp"
 #include "benchlib/put_bw.hpp"
+#include "exec/sweep.hpp"
 #include "fault/fault.hpp"
 #include "pcie/trace.hpp"
 #include "scenario/testbed.hpp"
@@ -118,15 +119,24 @@ std::tuple<std::uint64_t, std::int64_t, std::uint64_t> fingerprint(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_ablation_faults -- fault-rate sweep & recovery audit",
                  "fault/recovery extension (docs/FAULTS.md; beyond the paper)");
   bbench::Validator v;
+  const auto opts = bbench::exec_options(argc, argv);
 
   // -- 1. rate -> 0 is bit-identical to the error-free baseline ----------
-  const auto base = fingerprint(scenario::presets::thunderx2_cx4());
-  const auto zero = fingerprint(
-      scenario::presets::thunderx2_cx4().with(scenario::overlays::faults(0.0)));
+  const auto fp = exec::run_sweep(
+      exec::sweep<bool>({false, true}),
+      [](bool zero_rate, exec::Job&) {
+        auto cfg = scenario::presets::thunderx2_cx4();
+        return fingerprint(zero_rate ? cfg.with(scenario::overlays::faults(0.0))
+                                     : cfg);
+      },
+      opts);
+  bbench::note_exec("fingerprint pair", fp);
+  const auto& base = fp.values[0];
+  const auto& zero = fp.values[1];
   std::printf("rate->0 fingerprint: events %llu / %llu, trace %016llx / %016llx\n\n",
               static_cast<unsigned long long>(std::get<0>(base)),
               static_cast<unsigned long long>(std::get<0>(zero)),
@@ -139,9 +149,13 @@ int main() {
   std::printf("%-10s %12s %12s %10s %9s %9s %9s %9s\n", "ber", "am_lat ns",
               "put_bw M/s", "injected", "replays", "fc-reem", "dup-drop",
               "poisoned");
+  const auto rows = exec::run_sweep(
+      exec::sweep<double>({0.0, 1e-4, 1e-3, 1e-2}),
+      [](double ber, exec::Job&) { return run_at(ber); }, opts);
+  bbench::note_exec("ber sweep", rows);
   SweepRow at0, at_max;
-  for (double ber : {0.0, 1e-4, 1e-3, 1e-2}) {
-    const SweepRow r = run_at(ber);
+  for (const SweepRow& r : rows.values) {
+    const double ber = r.ber;
     std::printf("%-10.0e %12.2f %12.2f %10llu %9llu %9llu %9llu %9llu\n",
                 r.ber, r.lat_ns, r.rate_mps,
                 static_cast<unsigned long long>(r.fs.injected()),

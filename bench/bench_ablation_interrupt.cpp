@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "exec/sweep.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
 
@@ -119,12 +120,27 @@ double sparse_rx_cpu_per_msg(bool interrupts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_ablation_interrupt -- polling vs interrupts",
                  "§2's polling-vs-interrupt trade-off (design ablation)");
 
-  const Result poll = run(false);
-  const Result intr = run(true);
+  // Four independent simulations: {tight, sparse} x {polling, interrupt}.
+  struct Cell {
+    bool sparse;
+    bool interrupts;
+  };
+  const auto res = exec::run_sweep(
+      exec::sweep<Cell>(
+          {{false, false}, {false, true}, {true, false}, {true, true}}),
+      [](const Cell& c, exec::Job&) {
+        if (c.sparse) return Result{0.0, sparse_rx_cpu_per_msg(c.interrupts)};
+        return run(c.interrupts);
+      },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("interrupt ablation", res);
+
+  const Result poll = res.values[0];
+  const Result intr = res.values[1];
 
   std::printf("tight ping-pong (latency-critical):\n");
   std::printf("%-12s %16s %22s\n", "mode", "latency (ns)",
@@ -138,8 +154,8 @@ int main() {
               "   is why the latency-oriented configuration polls (§2).\n\n",
               intr.latency_ns - poll.latency_ns);
 
-  const double sparse_poll = sparse_rx_cpu_per_msg(false);
-  const double sparse_intr = sparse_rx_cpu_per_msg(true);
+  const double sparse_poll = res.values[2].rx_cpu_per_iter;
+  const double sparse_intr = res.values[3].rx_cpu_per_iter;
   std::printf("sparse traffic (one message per 50 us):\n");
   std::printf("%-12s %22s\n", "mode", "RX CPU per msg (ns)");
   std::printf("%-12s %22.2f\n", "polling", sparse_poll);

@@ -8,12 +8,13 @@
 #include "benchlib/am_lat.hpp"
 #include "benchlib/put_bw.hpp"
 #include "core/models.hpp"
+#include "exec/sweep.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
 
 using namespace bb;
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_ablation_memory_model -- weak ordering vs TSO",
                  "§4.1's barrier discussion (design ablation)");
 
@@ -32,14 +33,19 @@ int main() {
               core::LatencyModel(arm).e2e_latency_ns(),
               core::LatencyModel(tso).e2e_latency_ns());
 
-  // Execute both machines.
-  scenario::Testbed tb_arm(scenario::presets::thunderx2_cx4());
-  bench::PutBwBenchmark b_arm(tb_arm, {.messages = 6000, .warmup = 600});
-  const double inj_arm = b_arm.run().nic_deltas.summarize().mean;
-
-  scenario::Testbed tb_tso(scenario::presets::tso_cpu());
-  bench::PutBwBenchmark b_tso(tb_tso, {.messages = 6000, .warmup = 600});
-  const double inj_tso = b_tso.run().nic_deltas.summarize().mean;
+  // Execute both machines, one job each.
+  const auto res = exec::run_sweep(
+      exec::sweep<bool>({false, true}),
+      [](bool use_tso, exec::Job&) {
+        scenario::Testbed tb(use_tso ? scenario::presets::tso_cpu()
+                                     : scenario::presets::thunderx2_cx4());
+        bench::PutBwBenchmark b(tb, {.messages = 6000, .warmup = 600});
+        return b.run().nic_deltas.summarize().mean;
+      },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("memory-model pair", res);
+  const double inj_arm = res.values[0];
+  const double inj_tso = res.values[1];
 
   std::printf("%-22s %12.2f %12.2f   (simulated put_bw)\n",
               "observed injection", inj_arm, inj_tso);

@@ -8,6 +8,7 @@
 
 #include "benchlib/put_bw.hpp"
 #include "core/models.hpp"
+#include "exec/sweep.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
 
@@ -27,7 +28,7 @@ double run(std::uint32_t poll_every, std::uint32_t txq_depth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_ablation_poll_batch -- poll-period sweep",
                  "§4.2's poll-period analysis (p >= gen_completion/LLP_post)");
 
@@ -36,17 +37,36 @@ int main() {
   std::printf("gen_completion = %.2f ns; minimum p = %.2f\n\n",
               model.gen_completion_ns(), model.min_poll_period());
 
+  // Grid: the pipelined poll periods plus the (poll=1, depth=1)
+  // synchronous degenerate case as the last point.
+  struct Cfg {
+    std::uint32_t poll_every;
+    std::uint32_t txq_depth;
+  };
+  const auto sweep = exec::sweep<Cfg>({{2u, 128u},
+                                       {4u, 128u},
+                                       {8u, 128u},
+                                       {16u, 128u},
+                                       {32u, 128u},
+                                       {64u, 128u},
+                                       {1u, 1u}});
+  const auto res = exec::run_sweep(
+      sweep,
+      [](const Cfg& c, exec::Job&) { return run(c.poll_every, c.txq_depth); },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("poll-period sweep", res);
+
   std::printf("%-12s %20s\n", "poll every", "observed inj (ns)");
   double p16 = 0;
-  for (std::uint32_t p : {2u, 4u, 8u, 16u, 32u, 64u}) {
-    const double inj = run(p, 128);
-    std::printf("%-12u %20.2f\n", p, inj);
-    if (p == 16) p16 = inj;
+  for (std::size_t i = 0; i + 1 < sweep.points.size(); ++i) {
+    const std::uint32_t p = sweep.points[i].poll_every;
+    std::printf("%-12u %20.2f\n", p, res.values[i]);
+    if (p == 16) p16 = res.values[i];
   }
 
   // The synchronous case: TxQ depth 1 means every post waits for the
   // previous completion -- the p = 1 degenerate case of §4.2.
-  const double sync_inj = run(1, 1);
+  const double sync_inj = res.values.back();
   std::printf("%-12s %20.2f  (TxQ depth 1: synchronous posts)\n", "sync",
               sync_inj);
 

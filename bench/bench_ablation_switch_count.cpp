@@ -6,24 +6,32 @@
 #include <cstdio>
 
 #include "benchlib/am_lat.hpp"
+#include "exec/sweep.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
 
 using namespace bb;
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_ablation_switch_count -- switch-count sweep",
                  "§4.3's switch-differencing methodology, generalized");
 
+  const auto res = exec::run_sweep(
+      exec::sweep<int>({0, 1, 2, 3}),
+      [](int s, exec::Job&) {
+        auto cfg = scenario::presets::thunderx2_cx4();
+        cfg.net.num_switches = s;
+        scenario::Testbed tb(cfg);
+        bench::AmLatBenchmark b(tb, {.iterations = 1200, .warmup = 120});
+        return b.run().adjusted_mean_ns;
+      },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("switch-count sweep", res);
+
   std::printf("%-10s %18s\n", "switches", "latency (ns)");
-  std::vector<double> lat;
+  const std::vector<double>& lat = res.values;
   for (int s = 0; s <= 3; ++s) {
-    auto cfg = scenario::presets::thunderx2_cx4();
-    cfg.net.num_switches = s;
-    scenario::Testbed tb(cfg);
-    bench::AmLatBenchmark b(tb, {.iterations = 1200, .warmup = 120});
-    lat.push_back(b.run().adjusted_mean_ns);
-    std::printf("%-10d %18.2f\n", s, lat.back());
+    std::printf("%-10d %18.2f\n", s, lat[s]);
   }
 
   std::printf("\nper-switch deltas: %.2f, %.2f, %.2f ns (config: 108)\n",

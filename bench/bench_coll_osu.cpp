@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "benchlib/osu_coll.hpp"
+#include "exec/sweep.hpp"
 #include "model/alpha_beta.hpp"
 #include "scenario/cluster.hpp"
 #include "util.hpp"
@@ -67,16 +68,31 @@ int main(int argc, char** argv) {
 
   bbench::Validator v;
   bb::model::CollModel model(cfg);
+  const auto opts = bbench::exec_options(argc, argv);
 
-  for (OsuColl::Kind kind :
-       {OsuColl::Kind::kAllreduce, OsuColl::Kind::kBcast}) {
+  // Main band: kind x ranks x size, expanded in the print order below
+  // (size fastest), one simulation per job.
+  const std::vector<OsuColl::Kind> kinds = {OsuColl::Kind::kAllreduce,
+                                            OsuColl::Kind::kBcast};
+  const auto band = bb::exec::run_sweep(
+      bb::exec::sweep(bb::exec::grid(kinds, rank_counts, sizes)),
+      [&](const std::tuple<OsuColl::Kind, int, std::uint32_t>& pt,
+          bb::exec::Job&) {
+        return simulate(cfg, std::get<1>(pt), std::get<0>(pt),
+                        std::get<2>(pt), iters);
+      },
+      opts);
+  bbench::note_exec("collective band", band);
+
+  std::size_t cell = 0;
+  for (OsuColl::Kind kind : kinds) {
     for (int ranks : rank_counts) {
       std::printf("%s, %d ranks (deterministic testbed)\n", kind_name(kind),
                   ranks);
       std::printf("  %10s %8s %14s %14s %8s\n", "bytes", "algo", "sim ns",
                   "model ns", "err %");
       for (std::uint32_t bytes : sizes) {
-        const double sim = simulate(cfg, ranks, kind, bytes, iters);
+        const double sim = band.values[cell++];
         double mdl = 0.0;
         bb::coll::Algo algo = bb::coll::Algo::kAuto;
         if (kind == OsuColl::Kind::kAllreduce) {
@@ -104,12 +120,20 @@ int main(int argc, char** argv) {
     std::printf("reference rows, 8 ranks\n");
     std::printf("  %-22s %14s %14s %+8s\n", "collective", "sim ns", "model ns",
                 "err %");
-    const double bsim = simulate(cfg, 8, OsuColl::Kind::kBarrier, 8, iters);
+    const auto refs = bb::exec::run_sweep(
+        bb::exec::sweep<int>({0, 1}),
+        [&](int which, bb::exec::Job&) {
+          return which == 0
+                     ? simulate(cfg, 8, OsuColl::Kind::kBarrier, 8, iters)
+                     : simulate(cfg, 8, OsuColl::Kind::kAllgather, 256, iters);
+        },
+        opts);
+    bbench::note_exec("reference rows", refs);
+    const double bsim = refs.values[0];
     const double bmdl = model.barrier_ns(8);
     std::printf("  %-22s %14.1f %14.1f %+7.1f%%\n", "barrier/dissemination",
                 bsim, bmdl, (bmdl - bsim) / bsim * 100.0);
-    const double gsim =
-        simulate(cfg, 8, OsuColl::Kind::kAllgather, 256, iters);
+    const double gsim = refs.values[1];
     const double gmdl = model.allgather_ns(8, 256);
     std::printf("  %-22s %14.1f %14.1f %+7.1f%%\n", "allgather/bruck 256B",
                 gsim, gmdl, (gmdl - gsim) / gsim * 100.0);
@@ -132,9 +156,17 @@ int main(int argc, char** argv) {
          cfg.with(bb::scenario::overlays::integrated_nic(0.5))},
         {"genz-switch", cfg.with(bb::scenario::overlays::genz_switch(30.0))},
     };
-    for (const WhatIf& m : machines) {
-      const double sim =
-          simulate(m.cfg, 8, OsuColl::Kind::kAllreduce, 1024, iters);
+    const auto wi = bb::exec::run_sweep(
+        bb::exec::sweep<std::size_t>({0, 1, 2}),
+        [&](std::size_t mi, bb::exec::Job&) {
+          return simulate(machines[mi].cfg, 8, OsuColl::Kind::kAllreduce, 1024,
+                          iters);
+        },
+        opts);
+    bbench::note_exec("what-if machines", wi);
+    for (std::size_t mi = 0; mi < machines.size(); ++mi) {
+      const WhatIf& m = machines[mi];
+      const double sim = wi.values[mi];
       const double mdl = bb::model::CollModel(m.cfg).allreduce_ns(8, 1024);
       std::printf("  %-18s %14.1f %14.1f %+7.1f%%\n", m.name, sim, mdl,
                   (mdl - sim) / sim * 100.0);

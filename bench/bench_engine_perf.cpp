@@ -16,8 +16,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "benchlib/am_lat.hpp"
 #include "benchlib/osu_coll.hpp"
 #include "benchlib/put_bw.hpp"
+#include "exec/exec.hpp"
 #include "scenario/cluster.hpp"
 #include "scenario/testbed.hpp"
 #include "sim/channel.hpp"
@@ -195,6 +197,42 @@ void BM_CollAllreduceThroughput(benchmark::State& state) {
   state.SetLabel("simulated allreduces");
 }
 BENCHMARK(BM_CollAllreduceThroughput)->Arg(20);
+
+// bb::exec scaling: one fixed batch of 8 small am_lat simulations,
+// sharded over 1, 2, and 4 pool threads. Items = jobs completed, so
+// items/sec at Arg(4) over Arg(1) is the parallel-sweep speedup;
+// check_perf.sh turns that ratio into a scaling-efficiency gate on
+// machines with enough cores. Results stay bit-identical across the
+// thread counts (asserted here too -- a perf bench that silently
+// diverged would be worse than a slow one).
+void BM_ExecParallelSweep(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  constexpr std::size_t kJobs = 8;
+  double reference = 0.0;
+  for (auto _ : state) {
+    const auto res = exec::run(
+        kJobs, /*seed=*/42,
+        [](exec::Job& job) {
+          scenario::Testbed tb(scenario::presets::deterministic());
+          bench::AmLatBenchmark b(
+              tb, {.iterations = 60, .warmup = 6, .capture_trace = false});
+          job.note_events(tb.sim().events_processed());
+          return b.run().adjusted_mean_ns;
+        },
+        {.jobs = jobs});
+    if (reference == 0.0) reference = res.values[0];
+    if (res.values[0] != reference || res.values[7] != reference) {
+      state.SkipWithError("parallel sweep diverged from serial result");
+      return;
+    }
+    benchmark::DoNotOptimize(res.values);
+  }
+  state.SetItemsProcessed(state.iterations() * kJobs);
+  state.SetLabel("simulation jobs");
+}
+// UseRealTime: the pool's work happens on worker threads, so the default
+// main-thread CPU clock would not see it.
+BENCHMARK(BM_ExecParallelSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

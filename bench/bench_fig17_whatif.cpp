@@ -12,6 +12,7 @@
 #include "benchlib/osu.hpp"
 #include "benchlib/put_bw.hpp"
 #include "core/whatif.hpp"
+#include "exec/sweep.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
 
@@ -35,7 +36,7 @@ double observed_latency_ns(const scenario::SystemConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_fig17_whatif -- simulated optimizations",
                  "Fig. 17 a-d + the §7 spot checks");
 
@@ -62,17 +63,31 @@ int main() {
 
   // --- Execute three optimizations in the simulator --------------------
   std::printf("running baseline + 3 optimized configurations...\n");
-  const double base_inj =
-      observed_injection_ns(scenario::presets::thunderx2_cx4());
-  const double base_lat =
-      observed_latency_ns(scenario::presets::thunderx2_cx4());
-
-  const double pio_inj =
-      observed_injection_ns(scenario::presets::fast_device_memory(15.0));
-  const double soc_lat =
-      observed_latency_ns(scenario::presets::integrated_nic(0.5));
-  const double genz_lat =
-      observed_latency_ns(scenario::presets::genz_switch(30.0));
+  // Five independent simulations; 0/2 measure injection, the rest latency.
+  const auto res = exec::run_sweep(
+      exec::sweep<int>({0, 1, 2, 3, 4}),
+      [](int which, exec::Job&) {
+        switch (which) {
+          case 0:
+            return observed_injection_ns(scenario::presets::thunderx2_cx4());
+          case 1:
+            return observed_latency_ns(scenario::presets::thunderx2_cx4());
+          case 2:
+            return observed_injection_ns(
+                scenario::presets::fast_device_memory(15.0));
+          case 3:
+            return observed_latency_ns(scenario::presets::integrated_nic(0.5));
+          default:
+            return observed_latency_ns(scenario::presets::genz_switch(30.0));
+        }
+      },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("what-if configurations", res);
+  const double base_inj = res.values[0];
+  const double base_lat = res.values[1];
+  const double pio_inj = res.values[2];
+  const double soc_lat = res.values[3];
+  const double genz_lat = res.values[4];
 
   const double sim_pio_inj = (base_inj - pio_inj) / base_inj;
   const double sim_soc_lat = (base_lat - soc_lat) / base_lat;

@@ -14,6 +14,7 @@
 
 #include "benchlib/am_lat.hpp"
 #include "core/component_table.hpp"
+#include "exec/sweep.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
 
@@ -52,16 +53,24 @@ Point run(std::uint32_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_sweep_msgsize -- latency vs payload size",
                  "extension of §1's small- vs large-message argument");
 
+  // One job per payload size; collected in grid order, so the table is
+  // identical at any --jobs value.
+  const auto sweep = exec::sweep<std::uint32_t>(
+      {8u, 32u, 64u, 128u, 512u, 1024u, 4096u});
+  const auto res = exec::run_sweep(
+      sweep, [](std::uint32_t bytes, exec::Job&) { return run(bytes); },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("msgsize sweep", res);
+
   std::printf("%-10s %16s %12s\n", "bytes", "latency (ns)", "CPU share");
-  std::vector<Point> pts;
-  for (std::uint32_t b : {8u, 32u, 64u, 128u, 512u, 1024u, 4096u}) {
-    pts.push_back(run(b));
-    std::printf("%-10u %16.2f %11.1f%%\n", pts.back().bytes,
-                pts.back().latency_ns, pts.back().cpu_share * 100.0);
+  const std::vector<Point>& pts = res.values;
+  for (const Point& p : pts) {
+    std::printf("%-10u %16.2f %11.1f%%\n", p.bytes, p.latency_ns,
+                p.cpu_share * 100.0);
   }
 
   bbench::Validator v;

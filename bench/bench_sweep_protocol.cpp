@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "exec/sweep.hpp"
 #include "scenario/mpi_stack.hpp"
 #include "scenario/testbed.hpp"
 #include "util.hpp"
@@ -64,17 +65,27 @@ double one_way_ns(std::uint32_t bytes, std::uint32_t rndv_threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bbench::header("bench_sweep_protocol -- eager vs rendezvous crossover",
                  "extension: the protocol switch UCX makes above a threshold");
 
+  // Grid: sizes x {eager, rndv}, size-major so row i*2 is eager and
+  // i*2+1 is rendezvous for sizes[i].
+  const std::vector<std::uint32_t> sizes = {64, 256, 1024, 4096, 16384};
+  const auto res = exec::run_sweep(
+      exec::sweep(exec::grid(sizes, std::vector<std::uint32_t>{UINT32_MAX, 1})),
+      [](const auto& pt, exec::Job&) {
+        return one_way_ns(std::get<0>(pt), std::get<1>(pt));
+      },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("protocol sweep", res);
+
   std::printf("%-10s %14s %14s\n", "bytes", "eager (ns)", "rndv (ns)");
-  std::vector<std::uint32_t> sizes = {64, 256, 1024, 4096, 16384};
   std::vector<double> eager, rndv;
-  for (std::uint32_t s : sizes) {
-    eager.push_back(one_way_ns(s, UINT32_MAX));  // force eager
-    rndv.push_back(one_way_ns(s, 1));            // force rendezvous
-    std::printf("%-10u %14.2f %14.2f\n", s, eager.back(), rndv.back());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    eager.push_back(res.values[i * 2]);
+    rndv.push_back(res.values[i * 2 + 1]);
+    std::printf("%-10u %14.2f %14.2f\n", sizes[i], eager.back(), rndv.back());
   }
 
   bbench::Validator v;

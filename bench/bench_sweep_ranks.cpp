@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "benchlib/osu_coll.hpp"
+#include "exec/sweep.hpp"
 #include "model/alpha_beta.hpp"
 #include "scenario/cluster.hpp"
 #include "util.hpp"
@@ -75,16 +76,38 @@ int main(int argc, char** argv) {
 
   bbench::Validator v;
 
-  for (const Pair& p : pairs) {
+  // One job per (collective pair, rank count): both algorithms of a pair
+  // run in the same job so the per-row sim costs stay balanced.
+  struct Cell {
+    double sim_a;
+    double sim_b;
+  };
+  const auto grid = bb::exec::sweep(
+      bb::exec::grid(std::vector<std::size_t>{0, 1, 2, 3}, ranks));
+  const auto res = bb::exec::run_sweep(
+      grid,
+      [&](const std::tuple<std::size_t, int>& pt, bb::exec::Job&) {
+        const Pair& p = pairs[std::get<0>(pt)];
+        const int n = std::get<1>(pt);
+        return Cell{simulate(cfg, n, p.kind, p.bytes, p.a, iters),
+                    simulate(cfg, n, p.kind, p.bytes, p.b, iters)};
+      },
+      bbench::exec_options(argc, argv));
+  bbench::note_exec("rank sweep", res);
+
+  for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+    const Pair& p = pairs[pi];
     std::printf("%s\n", p.title);
     std::printf("  %5s | %14s %14s | %14s %14s\n", "ranks",
                 bb::coll::algo_name(p.a), "(model)", bb::coll::algo_name(p.b),
                 "(model)");
     double first_sim_a = 0, first_sim_b = 0, last_sim_a = 0, last_sim_b = 0;
     double first_mdl_a = 0, first_mdl_b = 0, last_mdl_a = 0, last_mdl_b = 0;
-    for (int n : ranks) {
-      const double sa = simulate(cfg, n, p.kind, p.bytes, p.a, iters);
-      const double sb = simulate(cfg, n, p.kind, p.bytes, p.b, iters);
+    for (std::size_t ri = 0; ri < ranks.size(); ++ri) {
+      const int n = ranks[ri];
+      const Cell& cell = res.values[pi * ranks.size() + ri];
+      const double sa = cell.sim_a;
+      const double sb = cell.sim_b;
       double ma = 0, mb = 0;
       switch (p.kind) {
         case OsuColl::Kind::kBarrier:

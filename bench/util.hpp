@@ -10,10 +10,39 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "exec/exec.hpp"
+
 namespace bbench {
+
+/// Parses the shared `--jobs N` / `--jobs=N` flag every bench binary
+/// accepts (default: hardware concurrency, overridable via BB_JOBS).
+/// The thread count never changes the printed tables -- bb::exec sweeps
+/// are bit-identical at any value -- only the wall-clock. A one-line
+/// execution summary goes to stderr so stdout stays table-clean.
+inline bb::exec::Options exec_options(int argc, char** argv) {
+  bb::exec::Options o;
+  o.jobs = bb::exec::default_jobs();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      o.jobs = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      o.jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  if (o.jobs <= 0) o.jobs = bb::exec::default_jobs();
+  return o;
+}
+
+/// Stderr note of how a sweep executed (kept off stdout on purpose).
+template <typename R>
+inline void note_exec(const char* what, const bb::exec::Results<R>& r) {
+  std::fprintf(stderr, "[exec] %s: %s\n", what, r.summary().c_str());
+}
 
 class Validator {
  public:

@@ -7,11 +7,19 @@
 //   bbsim osu_lat  [preset] [count]    # OSU pt2pt latency (MPI)
 //   bbsim coll     [preset] [ranks] [bytes] [collective]
 //                                      # OSU collective latency (bb::coll)
+//   bbsim sweep    <put_bw|am_lat|osu_mr|osu_lat> [count]
+//                                      # one benchmark across ALL presets,
+//                                      # sharded over the bb::exec pool
 //   bbsim list                         # available presets
+//
+// Every subcommand accepts `--jobs N` (default: hardware concurrency;
+// BB_JOBS overrides). The thread count never changes any printed number
+// -- bb::exec sweeps are bit-identical at every value.
 //
 // Examples:
 //   bbsim am_lat genz-switch 2000
 //   bbsim coll genz-switch 8 1024 allreduce
+//   bbsim sweep am_lat --jobs 4
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,12 +27,14 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "benchlib/am_lat.hpp"
 #include "benchlib/osu.hpp"
 #include "benchlib/osu_coll.hpp"
 #include "benchlib/put_bw.hpp"
 #include "core/models.hpp"
+#include "exec/sweep.hpp"
 #include "model/alpha_beta.hpp"
 #include "scenario/cluster.hpp"
 #include "scenario/testbed.hpp"
@@ -50,20 +60,99 @@ std::map<std::string, std::function<scenario::SystemConfig()>> presets() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <put_bw|am_lat|osu_mr|osu_lat|coll|list> "
-               "[preset] [count]\n"
+               "usage: %s <put_bw|am_lat|osu_mr|osu_lat|coll|sweep|list> "
+               "[preset] [count] [--jobs N]\n"
                "       %s coll [preset] [ranks] [bytes] "
-               "[barrier|bcast|allgather|allreduce]\n",
-               argv0, argv0);
+               "[barrier|bcast|allgather|allreduce]\n"
+               "       %s sweep <put_bw|am_lat|osu_mr|osu_lat> [count]\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+/// One row of `bbsim sweep`: observed + modelled value on one preset.
+struct SweepRow {
+  double observed;
+  double modelled;
+};
+
+SweepRow run_metric(const std::string& metric,
+                    const scenario::SystemConfig& cfg, std::uint64_t count) {
+  const auto table = core::ComponentTable::from_config(cfg);
+  scenario::Testbed tb(cfg);
+  if (metric == "put_bw") {
+    bench::PutBwBenchmark b(tb, {.messages = count ? count : 10000,
+                                 .warmup = (count ? count : 10000) / 10});
+    return {b.run().nic_deltas.summarize().mean,
+            core::InjectionModel(table).llp_injection_ns()};
+  }
+  if (metric == "am_lat") {
+    bench::AmLatBenchmark b(tb, {.iterations = count ? count : 2000,
+                                 .warmup = (count ? count : 2000) / 10});
+    return {b.run().adjusted_mean_ns,
+            core::LatencyModel(table).llp_latency_ns()};
+  }
+  if (metric == "osu_mr") {
+    bench::OsuMessageRate b(tb, {.windows = count ? count : 300,
+                                 .warmup_windows = (count ? count : 300) / 10});
+    return {b.run().cpu_per_msg_ns,
+            core::InjectionModel(table).overall_injection_ns()};
+  }
+  bench::OsuLatency b(tb, {.iterations = count ? count : 2000,
+                           .warmup = (count ? count : 2000) / 10});
+  return {b.run().adjusted_mean_ns, core::LatencyModel(table).e2e_latency_ns()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the shared --jobs flag so positional parsing stays simple.
+  exec::Options opts;
+  opts.jobs = exec::default_jobs();
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      opts.jobs = std::atoi(argv[i] + 7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (opts.jobs <= 0) opts.jobs = exec::default_jobs();
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) return usage(argv[0]);
   const std::string cmd = argv[1];
   const auto reg = presets();
+
+  if (cmd == "sweep") {
+    const std::string metric = argc > 2 ? argv[2] : "am_lat";
+    if (metric != "put_bw" && metric != "am_lat" && metric != "osu_mr" &&
+        metric != "osu_lat") {
+      return usage(argv[0]);
+    }
+    const std::uint64_t n = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 0;
+    std::vector<std::string> names;
+    for (const auto& [name, _] : reg) names.push_back(name);
+    const auto res = exec::run_sweep(
+        exec::sweep(names),
+        [&](const std::string& name, exec::Job&) {
+          return run_metric(metric, reg.at(name)(), n);
+        },
+        opts);
+    std::fprintf(stderr, "[exec] %s\n", res.summary().c_str());
+    std::printf("%s across %zu presets\n", metric.c_str(), names.size());
+    const char* unit = metric == "put_bw" || metric == "osu_mr"
+                           ? "ns/msg"
+                           : "latency ns";
+    std::printf("%-24s %14s %14s\n", "preset", unit, "model");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      std::printf("%-24s %14.2f %14.2f\n", names[i].c_str(),
+                  res.values[i].observed, res.values[i].modelled);
+    }
+    return 0;
+  }
 
   if (cmd == "list") {
     for (const auto& [name, _] : reg) std::printf("%s\n", name.c_str());

@@ -8,6 +8,11 @@
 # (scripts/perf_baseline.json), or if a *Steady benchmark reports a
 # non-zero steady-state allocation rate.
 #
+# On machines with >= 4 cores the BM_ExecParallelSweep rows additionally
+# gate bb::exec's scaling efficiency: 4 pool threads must reach at least
+# MIN_SCALING_4T x the 1-thread throughput. On smaller machines the
+# ratio is reported but informational (there is nothing to scale onto).
+#
 # Best-of-N (not mean) is compared on purpose: shared CI boxes run with
 # wildly varying load, and the max over repetitions is the least noisy
 # estimate of what the code can do.
@@ -43,6 +48,7 @@ import sys
 
 MAX_REGRESSION = 0.20      # fail below 80% of baseline items/sec
 MAX_ALLOC_RATE = 0.001     # steady-state allocations per simulated item
+MIN_SCALING_4T = 2.4       # min 4-thread speedup over 1 thread (>=4 cores)
 
 with open("BENCH_engine.json") as f:
     report = json.load(f)
@@ -67,6 +73,26 @@ for name, rate in sorted(allocs.items()):
           f"({'ok' if ok else f'LIMIT {MAX_ALLOC_RATE}'})")
     if not ok:
         failed = True
+
+def scaling_check():
+    """bb::exec scaling efficiency from the BM_ExecParallelSweep rows."""
+    one = best.get("BM_ExecParallelSweep/1/real_time")
+    four = best.get("BM_ExecParallelSweep/4/real_time")
+    if not one or not four:
+        print("exec scaling: BM_ExecParallelSweep rows missing")
+        return False  # the rows themselves are covered by the baseline gate
+    ratio = four / one
+    cores = os.cpu_count() or 1
+    enforced = cores >= 4
+    ok = (not enforced) or ratio >= MIN_SCALING_4T
+    print(f"exec scaling: {ratio:.2f}x at 4 threads over 1 "
+          f"({cores} cores; "
+          f"{'ok' if ok else f'MIN {MIN_SCALING_4T}'}"
+          f"{'' if enforced else ', informational'})")
+    return not ok
+
+if scaling_check():
+    failed = True
 
 if os.environ.get("UPDATE") == "1":
     with open("scripts/perf_baseline.json", "w") as f:

@@ -12,7 +12,7 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   SplitMix64 sm(seed);
   for (auto& w : s_) w = sm.next();
 }

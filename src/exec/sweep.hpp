@@ -1,0 +1,75 @@
+#pragma once
+// Declarative sweeps over bb::exec.
+//
+// A `Sweep<P>` is an ordered list of grid points plus a master seed;
+// `run_sweep` shards it across the pool, handing each job the point it
+// owns and a seed forked by grid index (pure function of (sweep seed,
+// index) -- bb::derive_seed). The expansion order IS the result order
+// and the seed assignment, so a sweep's outputs are bit-identical at
+// every thread count.
+//
+// `grid(axisA, axisB, ...)` expands a cartesian product row-major: the
+// LAST axis varies fastest, matching the nesting order of the serial
+// loops these sweeps replace:
+//
+//   for (auto ranks : {4, 8})          // axis 0, slowest
+//     for (auto bytes : {8, 64, 256})  // axis 1, fastest
+//
+//   == grid(std::vector{4, 8}, std::vector{8, 64, 256})
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "exec/exec.hpp"
+
+namespace bb::exec {
+
+/// Cartesian product of axes, row-major (last axis fastest).
+template <typename A>
+std::vector<std::tuple<A>> grid(const std::vector<A>& a) {
+  std::vector<std::tuple<A>> out;
+  out.reserve(a.size());
+  for (const A& x : a) out.emplace_back(x);
+  return out;
+}
+
+template <typename A, typename... Rest>
+auto grid(const std::vector<A>& a, const std::vector<Rest>&... rest)
+    -> std::vector<std::tuple<A, Rest...>> {
+  std::vector<std::tuple<A, Rest...>> out;
+  const auto tail = grid(rest...);
+  out.reserve(a.size() * tail.size());
+  for (const A& x : a) {
+    for (const auto& t : tail) {
+      out.push_back(std::tuple_cat(std::tuple<A>(x), t));
+    }
+  }
+  return out;
+}
+
+/// A declarative sweep: points in grid order plus the master seed every
+/// per-job seed forks from.
+template <typename P>
+struct Sweep {
+  std::vector<P> points;
+  std::uint64_t seed = 42;
+};
+
+template <typename P>
+Sweep<P> sweep(std::vector<P> points, std::uint64_t seed = 42) {
+  return Sweep<P>{std::move(points), seed};
+}
+
+/// Runs `fn(point, job) -> R` over every grid point. `results.values[i]`
+/// corresponds to `s.points[i]`.
+template <typename P, typename F>
+auto run_sweep(const Sweep<P>& s, F&& fn, Options opts = {})
+    -> Results<std::invoke_result_t<F&, const P&, Job&>> {
+  return run(
+      s.points.size(), s.seed,
+      [&s, &fn](Job& job) { return fn(s.points[job.index()], job); }, opts);
+}
+
+}  // namespace bb::exec

@@ -4,6 +4,34 @@
 
 namespace bb::prof {
 
+void ProfileData::merge(const ProfileData& o) {
+  for (const auto& [name, samples] : o.regions) {
+    regions[name].merge(samples);
+  }
+  for (const auto& [name, v] : o.counters) {
+    counters[name] += v;
+  }
+}
+
+std::string ProfileData::report() const {
+  TextTable t({"Region", "Count", "Mean (ns)", "SD", "Min", "Max"});
+  for (const auto& [name, samples] : regions) {
+    const Summary s = samples.summarize();
+    t.add_row({name, std::to_string(s.count), TextTable::num(s.mean),
+               TextTable::num(s.stddev), TextTable::num(s.min),
+               TextTable::num(s.max)});
+  }
+  std::string out = t.render();
+  if (!counters.empty()) {
+    TextTable c({"Counter", "Value"});
+    for (const auto& [name, v] : counters) {
+      c.add_row({name, std::to_string(v)});
+    }
+    out += "\n" + c.render();
+  }
+  return out;
+}
+
 Profiler::Region Profiler::begin(std::string name) {
   Region r;
   if (!enabled_) return r;
@@ -26,20 +54,20 @@ void Profiler::end(Region& r) {
   const TimePs raw = core_.virtual_now() - r.t0;
   // §3: "we report software measurements after removing this overhead."
   const double corrected = raw.to_ns() - overhead_mean_ns();
-  by_name_[r.name].add_ns(corrected);
+  data_.regions[r.name].add_ns(corrected);
 }
 
 void Profiler::record_ns(const std::string& name, double ns) {
-  by_name_[name].add_ns(ns);
+  data_.regions[name].add_ns(ns);
 }
 
 bool Profiler::has(const std::string& name) const {
-  return by_name_.count(name) != 0;
+  return data_.regions.count(name) != 0;
 }
 
 const Samples& Profiler::samples(const std::string& name) const {
-  auto it = by_name_.find(name);
-  BB_ASSERT_MSG(it != by_name_.end(), "no samples for region");
+  auto it = data_.regions.find(name);
+  BB_ASSERT_MSG(it != data_.regions.end(), "no samples for region");
   return it->second;
 }
 
@@ -47,23 +75,6 @@ double Profiler::mean_ns(const std::string& name) const {
   return samples(name).summarize().mean;
 }
 
-std::string Profiler::report() const {
-  TextTable t({"Region", "Count", "Mean (ns)", "SD", "Min", "Max"});
-  for (const auto& [name, samples] : by_name_) {
-    const Summary s = samples.summarize();
-    t.add_row({name, std::to_string(s.count), TextTable::num(s.mean),
-               TextTable::num(s.stddev), TextTable::num(s.min),
-               TextTable::num(s.max)});
-  }
-  std::string out = t.render();
-  if (!counters_.empty()) {
-    TextTable c({"Counter", "Value"});
-    for (const auto& [name, v] : counters_) {
-      c.add_row({name, std::to_string(v)});
-    }
-    out += "\n" + c.render();
-  }
-  return out;
-}
+std::string Profiler::report() const { return data_.report(); }
 
 }  // namespace bb::prof

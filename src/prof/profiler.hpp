@@ -24,6 +24,28 @@
 
 namespace bb::prof {
 
+/// A profiler's recorded state, detached from the live Core/Simulator
+/// that produced it. Counters are per-Profiler (and therefore
+/// per-Simulator) -- there is deliberately no process-global registry,
+/// so simulations on different threads never share measurement state.
+/// `merge` is the aggregation API `bb::exec` uses to fold per-job
+/// profiles into one report: merge snapshots in grid order and the
+/// aggregate is deterministic at any thread count.
+struct ProfileData {
+  std::map<std::string, Samples> regions;
+  std::map<std::string, std::uint64_t> counters;
+
+  bool empty() const { return regions.empty() && counters.empty(); }
+
+  /// Folds `o` into this profile: region samples append (this first,
+  /// then `o`), counters add.
+  void merge(const ProfileData& o);
+
+  /// Table of all regions (and counters, when present) -- the same
+  /// rendering as Profiler::report().
+  std::string report() const;
+};
+
 class Profiler {
  public:
   explicit Profiler(cpu::Core& core) : core_(core) {}
@@ -54,23 +76,24 @@ class Profiler {
   /// Event counters (fault/recovery accounting and similar): free --
   /// counting does not perturb the simulated timeline, unlike regions.
   void note_count(const std::string& name, std::uint64_t delta = 1) {
-    counters_[name] += delta;
+    data_.counters[name] += delta;
   }
   std::uint64_t counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    auto it = data_.counters.find(name);
+    return it == data_.counters.end() ? 0 : it->second;
   }
   const std::map<std::string, std::uint64_t>& counters() const {
-    return counters_;
+    return data_.counters;
   }
 
   bool has(const std::string& name) const;
   const Samples& samples(const std::string& name) const;
   double mean_ns(const std::string& name) const;
-  void clear() {
-    by_name_.clear();
-    counters_.clear();
-  }
+  void clear() { data_ = ProfileData{}; }
+
+  /// Copies the recorded state out of the live profiler -- the handoff
+  /// point from a job-owned Testbed to the caller-side aggregate.
+  ProfileData snapshot() const { return data_; }
 
   /// The mean that gets subtracted from every region (Table 1:
   /// "Measurement update").
@@ -84,8 +107,7 @@ class Profiler {
  private:
   cpu::Core& core_;
   bool enabled_ = true;
-  std::map<std::string, Samples> by_name_;
-  std::map<std::string, std::uint64_t> counters_;
+  ProfileData data_;
 };
 
 }  // namespace bb::prof

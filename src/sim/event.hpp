@@ -25,6 +25,7 @@
 // previous `std::priority_queue` engine, which keeps seeded runs
 // byte-for-byte reproducible (see docs/SIM_ENGINE.md).
 
+#include <atomic>
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
@@ -94,7 +95,7 @@ struct EventNode {
     } else {
       // Oversized callable: boxed on the heap. Not steady-state -- counted
       // so the allocation-free invariant stays observable.
-      ++boxed_events();
+      boxed_events_counter().fetch_add(1, std::memory_order_relaxed);
       Fn* box = new Fn(std::forward<F>(fn));
       std::memcpy(storage, &box, sizeof(box));
       invoke = [](EventNode* n) {
@@ -116,9 +117,14 @@ struct EventNode {
   }
 
   /// Process-wide count of events whose callable overflowed the inline
-  /// buffer (diagnostic; the hot path must keep this at zero).
-  static std::uint64_t& boxed_events() {
-    static std::uint64_t count = 0;
+  /// buffer (diagnostic; the hot path must keep this at zero). Atomic:
+  /// bb::exec runs simulators on several threads, and this is the one
+  /// counter they legitimately share.
+  static std::uint64_t boxed_events() {
+    return boxed_events_counter().load(std::memory_order_relaxed);
+  }
+  static std::atomic<std::uint64_t>& boxed_events_counter() {
+    static std::atomic<std::uint64_t> count{0};
     return count;
   }
 };

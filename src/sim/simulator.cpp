@@ -148,7 +148,7 @@ bool Simulator::has_event_at_or_before(TimePs t) const {
   return false;
 }
 
-bool Simulator::step() {
+bool Simulator::step_impl() {
   TimePs t;
   detail::EventItem item;
   if (!pick_next(t, item)) return false;

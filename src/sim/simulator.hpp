@@ -25,6 +25,7 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -113,7 +114,17 @@ class Simulator {
   void spawn(Task<void> task, std::string name = "process");
 
   /// Runs one event. Returns false if the queue is empty.
-  bool step();
+  /// Isolation invariant (debug-checked): a Simulator is single-threaded
+  /// -- it must be stepped on the thread that constructed it. Parallel
+  /// execution (bb::exec) runs whole simulators on distinct threads; it
+  /// never shares one across threads.
+  bool step() {
+#ifndef NDEBUG
+    BB_ASSERT_MSG(owner_ == std::this_thread::get_id(),
+                  "Simulator stepped off its construction thread");
+#endif
+    return step_impl();
+  }
   /// Runs until the event queue drains.
   void run();
   /// Runs while events exist and now() <= t.
@@ -156,6 +167,7 @@ class Simulator {
     }
   }
 
+  bool step_impl();
   bool pick_next(TimePs& t, detail::EventItem& item);
   bool has_event_at_or_before(TimePs t) const;
   void dispatch(TimePs t, detail::EventItem item);
@@ -174,6 +186,9 @@ class Simulator {
   std::uint32_t root_error_index_ = 0;
   std::vector<RootProcess> roots_;
   Rng rng_;
+#ifndef NDEBUG
+  std::thread::id owner_ = std::this_thread::get_id();
+#endif
 };
 
 }  // namespace bb::sim

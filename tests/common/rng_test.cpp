@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 namespace bb {
 namespace {
@@ -104,6 +105,72 @@ TEST(Rng, BernoulliProbability) {
   int hits = 0;
   for (int i = 0; i < 100000; ++i) hits += r.bernoulli(0.3);
   EXPECT_NEAR(hits, 30000, 600);
+}
+
+TEST(Rng, DeriveSeedIsPure) {
+  // No hidden state: the same (parent, label) always yields the same
+  // child, regardless of how often or from where it is computed.
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  static_assert(derive_seed(42, 7) == derive_seed(42, 7));
+  const std::uint64_t a = derive_seed(1, 2);
+  Rng burn(1);
+  for (int i = 0; i < 100; ++i) (void)burn.next_u64();
+  EXPECT_EQ(derive_seed(1, 2), a);
+}
+
+TEST(Rng, DeriveSeedHasNoCollisionsOverDenseGrids) {
+  // The exact shape bb::exec produces: small sequential labels under
+  // many parent seeds (sweep seeds are themselves often sequential).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t parent = 0; parent < 512; ++parent) {
+    for (std::uint64_t label = 0; label < 512; ++label) {
+      seen.insert(derive_seed(parent, label));
+    }
+  }
+  EXPECT_EQ(seen.size(), 512u * 512u);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesNeighbours) {
+  // Adjacent labels must not produce correlated streams: compare the
+  // first draws of sibling children bit-wise.
+  int close = 0;
+  for (std::uint64_t label = 0; label < 256; ++label) {
+    Rng a(derive_seed(99, label));
+    Rng b(derive_seed(99, label + 1));
+    const int distance = __builtin_popcountll(a.next_u64() ^ b.next_u64());
+    // 64 fair coin flips; < 16 matching bits is a 6-sigma outlier.
+    if (distance < 16 || distance > 48) ++close;
+  }
+  EXPECT_LE(close, 2);
+}
+
+TEST(Rng, PureForkMatchesDeriveSeedAndLeavesParentUntouched) {
+  const Rng parent(7);
+  Rng child = parent.fork(3);
+  Rng expect(derive_seed(7, 3));
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(child.next_u64(), expect.next_u64());
+  }
+  // const fork => parent stream position is untouched by construction;
+  // verify the parent still replays from the start.
+  Rng replay(7);
+  Rng parent2 = parent;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(parent2.next_u64(), replay.next_u64());
+  }
+}
+
+TEST(Rng, StatefulForkStillConsumesParentState) {
+  // The legacy contract (golden-compatible): fork() advances the parent.
+  Rng a(7), b(7);
+  (void)a.fork();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedAccessorReturnsConstructionSeed) {
+  Rng r(0xDEADBEEFull);
+  (void)r.next_u64();
+  EXPECT_EQ(r.seed(), 0xDEADBEEFull);
 }
 
 }  // namespace

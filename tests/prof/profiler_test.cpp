@@ -100,5 +100,62 @@ TEST(Profiler, OverheadMeanExposed) {
   EXPECT_NEAR(f.prof.overhead_mean_ns(), 49.69, 1e-9);
 }
 
+TEST(Profiler, SnapshotDetachesFromLiveProfiler) {
+  Fixture f(deterministic_model());
+  f.prof.record_ns("LLP_post", 175.0);
+  f.prof.note_count("posts", 3);
+  const ProfileData snap = f.prof.snapshot();
+  f.prof.clear();
+  EXPECT_FALSE(f.prof.has("LLP_post"));
+  EXPECT_EQ(snap.regions.at("LLP_post").summarize().count, 1u);
+  EXPECT_EQ(snap.counters.at("posts"), 3u);
+}
+
+TEST(ProfileData, MergeAppendsRegionsAndAddsCounters) {
+  // The bb::exec aggregation path: per-job snapshots folded in grid
+  // order into one report.
+  Fixture a(deterministic_model());
+  a.prof.record_ns("LLP_post", 100.0);
+  a.prof.record_ns("LLP_post", 200.0);
+  a.prof.note_count("posts", 2);
+  Fixture b(deterministic_model());
+  b.prof.record_ns("LLP_post", 300.0);
+  b.prof.record_ns("LLP_prog", 60.0);
+  b.prof.note_count("posts", 1);
+  b.prof.note_count("polls", 5);
+
+  ProfileData total = a.prof.snapshot();
+  total.merge(b.prof.snapshot());
+  EXPECT_EQ(total.regions.at("LLP_post").summarize().count, 3u);
+  EXPECT_NEAR(total.regions.at("LLP_post").summarize().mean, 200.0, 1e-9);
+  EXPECT_EQ(total.regions.at("LLP_prog").summarize().count, 1u);
+  EXPECT_EQ(total.counters.at("posts"), 3u);
+  EXPECT_EQ(total.counters.at("polls"), 5u);
+}
+
+TEST(ProfileData, MergeOrderIsDeterministic) {
+  // this-first, then other: merging A<-B and A'<-B' with identical
+  // inputs yields identical sample order (what makes the parallel
+  // aggregate bit-identical to the serial one).
+  ProfileData a1, b1, a2, b2;
+  a1.regions["r"].add_ns(1.0);
+  b1.regions["r"].add_ns(2.0);
+  a2.regions["r"].add_ns(1.0);
+  b2.regions["r"].add_ns(2.0);
+  a1.merge(b1);
+  a2.merge(b2);
+  EXPECT_EQ(a1.regions["r"].values_ns(), a2.regions["r"].values_ns());
+  EXPECT_EQ(a1.report(), a2.report());
+}
+
+TEST(ProfileData, EmptyAndReport) {
+  ProfileData d;
+  EXPECT_TRUE(d.empty());
+  d.counters["faults"] = 7;
+  EXPECT_FALSE(d.empty());
+  const std::string rep = d.report();
+  EXPECT_NE(rep.find("faults"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bb::prof
