@@ -76,7 +76,16 @@ sim::Task<common::Status> Communicator::wait(hlp::Request* req) {
   // Same cost structure as the pt2pt MpiComm::wait; the progress engine
   // spans all peers.
   c.consume(c.costs().mpich_wait_fixed);
+  const double timeout_us = tuning().wait_timeout_us;
+  const TimePs deadline =
+      c.virtual_now() + TimePs::from_ns(timeout_us * 1000.0);
   while (!req->complete) {
+    if (timeout_us > 0.0 && c.virtual_now() > deadline) {
+      // Watchdog: diagnosable abort instead of a hang (the request stays
+      // incomplete; the transport underneath it is stuck or flushed).
+      co_await c.flush();
+      co_return common::Status::kTimedOut;
+    }
     co_await progress();
   }
   c.consume(c.costs().mpich_after_progress);
@@ -91,6 +100,9 @@ sim::Task<common::Status> Communicator::waitall(
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     c.consume(c.costs().hlp_tx_prog);
   }
+  const double timeout_us = tuning().wait_timeout_us;
+  const TimePs deadline =
+      c.virtual_now() + TimePs::from_ns(timeout_us * 1000.0);
   for (;;) {
     bool all = true;
     for (hlp::Request* r : reqs) {
@@ -100,6 +112,10 @@ sim::Task<common::Status> Communicator::waitall(
       }
     }
     if (all) break;
+    if (timeout_us > 0.0 && c.virtual_now() > deadline) {
+      co_await c.flush();
+      co_return common::Status::kTimedOut;
+    }
     co_await progress();
   }
   co_await c.flush();

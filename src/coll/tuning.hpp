@@ -26,6 +26,16 @@ struct CollTuning {
   /// Barrier: ring token up to this many ranks (cheap at trivial scale),
   /// dissemination above. 0 = always dissemination (the MPICH default).
   int barrier_ring_max_ranks = 0;
+  /// Progress-engine watchdog for wait/waitall, in simulated
+  /// microseconds: a request still incomplete after this long aborts the
+  /// wait with common::Status::kTimedOut instead of hanging -- the
+  /// lossy-fabric insurance of docs/TRANSPORT.md (e.g. a peer's QP died
+  /// and its ops were flushed). Checked inside the existing progress
+  /// loop, so no timer events are scheduled and error-free timing is
+  /// untouched. 0 disables. The default is orders of magnitude above any
+  /// healthy collective wait in the bench suite (whole 8-rank allreduce
+  /// runs finish in ~25 ms simulated).
+  double wait_timeout_us = 50000.0;
 };
 
 }  // namespace bb::coll

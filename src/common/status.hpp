@@ -25,8 +25,16 @@ enum class Status : std::uint8_t {
   /// A software-side queue hit its capacity bound.
   kQueueFull,
   /// The operation completed with an unrecoverable error (error CQE after
-  /// exhausted link-level recovery).
+  /// exhausted link-level recovery, or the WQE that exhausted the RC
+  /// transport's retry budget).
   kIoError,
+  /// The WQE was flushed: its QP entered the error state (or was reset)
+  /// before the operation could complete. The op itself never failed --
+  /// repost after recovering the QP (docs/TRANSPORT.md).
+  kFlushed,
+  /// A bounded wait elapsed before the operation completed (e.g. the
+  /// coll progress-engine timeout): diagnosable instead of a hang.
+  kTimedOut,
 };
 
 inline bool is_ok(Status s) { return s == Status::kOk; }
@@ -41,6 +49,10 @@ inline std::string to_string(Status s) {
       return "QUEUE_FULL";
     case Status::kIoError:
       return "IO_ERROR";
+    case Status::kFlushed:
+      return "FLUSHED";
+    case Status::kTimedOut:
+      return "TIMED_OUT";
   }
   BB_UNREACHABLE("bad Status");
 }

@@ -50,7 +50,7 @@ std::string FaultStats::render(const std::string& title) const {
 FaultInjector::FaultInjector(FaultConfig cfg, std::uint64_t seed)
     : cfg_(std::move(cfg)),
       rng_(SplitMix64(seed ^ 0xFA017ED5EEDull).next()),
-      enabled_(cfg_.enabled()),
+      enabled_(cfg_.link_enabled()),
       pending_(cfg_.scheduled) {}
 
 bool FaultInjector::has_scheduled(OneShot::Kind kind, LinkDir dir,
@@ -114,6 +114,78 @@ bool FaultInjector::drop_ack(LinkDir dir) {
     return true;
   }
   return false;
+}
+
+WireInjector::WireInjector(WireFaultConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)),
+      rng_(SplitMix64(seed ^ 0x51B3FA017ull).next()),
+      enabled_(cfg_.enabled()),
+      pending_(cfg_.scheduled) {}
+
+bool WireInjector::has_scheduled(WireOneShot::Kind kind, int src_node,
+                                 std::uint64_t psn) const {
+  for (const WireOneShot& s : pending_) {
+    if (s.kind == kind && (s.src_node < 0 || s.src_node == src_node) &&
+        (s.psn == 0 || s.psn == psn)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WireInjector::take_scheduled(WireOneShot::Kind kind, int src_node,
+                                  std::uint64_t psn) {
+  auto it = std::find_if(
+      pending_.begin(), pending_.end(), [&](const WireOneShot& s) {
+        return s.kind == kind && (s.src_node < 0 || s.src_node == src_node) &&
+               (s.psn == 0 || s.psn == psn);
+      });
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  return true;
+}
+
+WireInjector::Fate WireInjector::packet_fate(int src_node, bool is_data,
+                                             std::uint64_t psn) {
+  if (!enabled_) return Fate::kDeliver;
+  if (is_data) {
+    // kKillData persists across attempts: the sender can never get this
+    // PSN through and must exhaust its transport retry budget.
+    if (has_scheduled(WireOneShot::Kind::kKillData, src_node, psn)) {
+      return Fate::kDrop;
+    }
+    if (take_scheduled(WireOneShot::Kind::kDropData, src_node, psn)) {
+      return Fate::kDrop;
+    }
+    if (take_scheduled(WireOneShot::Kind::kDuplicateData, src_node, psn)) {
+      return Fate::kDuplicate;
+    }
+    if (take_scheduled(WireOneShot::Kind::kReorderData, src_node, psn)) {
+      return Fate::kReorder;
+    }
+  } else {
+    const std::uint64_t nth = ++ctrl_seen_[src_node];
+    if (take_scheduled(WireOneShot::Kind::kDropAck, src_node, nth)) {
+      return Fate::kDrop;
+    }
+  }
+  // BER-style faults. Retry budgets at the NIC bound the attempt count,
+  // so recovery always converges (or diagnosably errors the QP).
+  if (cfg_.drop_prob > 0.0 && rng_.bernoulli(cfg_.drop_prob)) {
+    return Fate::kDrop;
+  }
+  if (cfg_.corrupt_prob > 0.0 && rng_.bernoulli(cfg_.corrupt_prob)) {
+    return Fate::kCorrupt;
+  }
+  if (is_data) {
+    if (cfg_.duplicate_prob > 0.0 && rng_.bernoulli(cfg_.duplicate_prob)) {
+      return Fate::kDuplicate;
+    }
+    if (cfg_.reorder_prob > 0.0 && rng_.bernoulli(cfg_.reorder_prob)) {
+      return Fate::kReorder;
+    }
+  }
+  return Fate::kDeliver;
 }
 
 bool FaultInjector::drop_updatefc(LinkDir dir) {

@@ -20,6 +20,7 @@
 // compiled in -- the property the fault-rate->0 golden test pins down.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,52 @@ struct OneShot {
   std::uint64_t seq = 0;
 };
 
+/// A fault scheduled against one specific fabric packet (wire level, as
+/// opposed to the PCIe data-link OneShot above). Data packets are matched
+/// by PSN; control (ACK/NAK/connect) packets by per-source ordinal.
+struct WireOneShot {
+  enum class Kind : std::uint8_t {
+    kDropData,      // one data packet vanishes -> NAK/retry-timer recovery
+    kKillData,      // drop *every* attempt of this PSN: forces the retry
+                    // budget to exhaust and the QP into the error state
+    kDropAck,       // the Nth control packet from `src_node` is lost
+    kDuplicateData, // one data packet is delivered twice (dup discard)
+    kReorderData,   // one data packet is delayed past its successors
+  };
+  Kind kind = Kind::kDropData;
+  /// Source node the packet leaves from; -1 matches any sender.
+  int src_node = -1;
+  /// For data kinds: the packet sequence number (PSN, 1-based per QP
+  /// flow); 0 matches any. For kDropAck: the Nth control packet (1-based).
+  std::uint64_t psn = 0;
+};
+
+/// Wire-level (fabric) fault knobs: the lossy-network model the RC
+/// transport in the NIC recovers from (docs/TRANSPORT.md). Nested inside
+/// FaultConfig so one overlay composes PCIe-link and wire faults.
+struct WireFaultConfig {
+  /// Per-packet silent-loss probability (NAK or retry timer recovers).
+  double drop_prob = 0.0;
+  /// Per-packet ICRC-corruption probability. Corrupt packets occupy the
+  /// wire and arrive, but the receiving NIC discards them silently (IB
+  /// semantics: no NAK for a bad ICRC) -- recovery is via PSN gap/timer.
+  double corrupt_prob = 0.0;
+  /// Per-packet duplication probability (receiver discards by PSN).
+  double duplicate_prob = 0.0;
+  /// Per-packet reorder probability: the packet is delayed by
+  /// `reorder_delay_ns` and exempted from the sender's in-order gate, so
+  /// successors can overtake it (receiver NAKs the PSN gap).
+  double reorder_prob = 0.0;
+  double reorder_delay_ns = 500.0;
+  /// Scheduled one-shot wire faults (consumed in match order).
+  std::vector<WireOneShot> scheduled;
+
+  bool enabled() const {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || duplicate_prob > 0.0 ||
+           reorder_prob > 0.0 || !scheduled.empty();
+  }
+};
+
 /// All fault-injection and recovery knobs. Lives in scenario::SystemConfig
 /// and is applied per node; `enabled()` false means the stack runs the
 /// original error-free fast path untouched.
@@ -79,11 +126,19 @@ struct FaultConfig {
   /// credit counters make re-emission idempotent).
   double fc_reemit_timeout_ns = 2000.0;
 
-  bool enabled() const {
+  // --- wire (fabric) faults ----------------------------------------------
+  /// Lossy-network faults on net::Fabric packets; the NIC's RC transport
+  /// (PSN/ACK/NAK/retry, docs/TRANSPORT.md) recovers from these.
+  WireFaultConfig wire;
+
+  /// PCIe data-link faults configured (gates the per-link FaultInjector).
+  bool link_enabled() const {
     return tlp_corrupt_prob > 0.0 || tlp_drop_prob > 0.0 ||
            ack_drop_prob > 0.0 || updatefc_drop_prob > 0.0 ||
            !scheduled.empty();
   }
+  /// Any fault source configured, at either layer.
+  bool enabled() const { return link_enabled() || wire.enabled(); }
 };
 
 /// Flat counters for everything injected and everything recovered; merged
@@ -157,6 +212,48 @@ class FaultInjector {
   /// DLLP ordinal counters per direction, for scheduled DLLP faults.
   std::uint64_t acks_seen_[2] = {0, 0};
   std::uint64_t fcs_seen_[2] = {0, 0};
+};
+
+/// Wire-level fault decision source for one net::Fabric. Like the per-link
+/// FaultInjector it only *decides* packet fates -- the fabric does the
+/// counting (net::TransportStats) so decisions and accounting cannot
+/// drift. Seed-forked off the scenario seed with a wire-specific label so
+/// loss patterns are pure functions of (seed, packet order): bit-identical
+/// serial vs `exec --jobs N`.
+class WireInjector {
+ public:
+  /// Disabled injector (never consulted).
+  WireInjector() = default;
+  WireInjector(WireFaultConfig cfg, std::uint64_t seed);
+
+  bool enabled() const { return enabled_; }
+  const WireFaultConfig& config() const { return cfg_; }
+
+  enum class Fate : std::uint8_t {
+    kDeliver,
+    kDrop,       // never arrives
+    kCorrupt,    // arrives, receiver discards on ICRC (silent)
+    kDuplicate,  // delivered twice
+    kReorder,    // delayed past the in-order gate
+  };
+  /// Fate of one fabric transmission. `is_data` selects the data-packet
+  /// fault classes; control packets only see kDropAck and drop_prob.
+  /// `psn` is the data packet's sequence number for scheduled matching.
+  Fate packet_fate(int src_node, bool is_data, std::uint64_t psn);
+
+ private:
+  bool take_scheduled(WireOneShot::Kind kind, int src_node,
+                      std::uint64_t psn);
+  bool has_scheduled(WireOneShot::Kind kind, int src_node,
+                     std::uint64_t psn) const;
+
+  WireFaultConfig cfg_;
+  Rng rng_;
+  bool enabled_ = false;
+  /// Live scheduled faults (one-shots are removed once they fire).
+  std::vector<WireOneShot> pending_;
+  /// Control-packet ordinal per source node, for scheduled kDropAck.
+  std::map<int, std::uint64_t> ctrl_seen_;
 };
 
 }  // namespace bb::fault

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "nic/nic.hpp"
 
 namespace bb::llp {
 
-Endpoint::Endpoint(Worker& worker, pcie::RootComplex& rc, EndpointConfig cfg)
-    : worker_(worker), rc_(rc), cfg_(cfg) {
+Endpoint::Endpoint(Worker& worker, pcie::RootComplex& rc, EndpointConfig cfg,
+                   nic::Nic* nic)
+    : worker_(worker), rc_(rc), cfg_(cfg), nic_(nic) {
   // With moderation period > TxQ depth the queue can fill before any
   // descriptor is signalled, so no CQE is ever generated and every later
   // post busy-loops forever -- the same deadlock a real mlx5 queue pair
@@ -167,7 +169,40 @@ void Endpoint::on_tx_cqe(const nic::Cqe& cqe) {
                 "CQE retired more ops than outstanding");
   outstanding_ -= cqe.completes;
   if (cqe.status != Status::kOk) ++tx_errors_;
+  if (cqe.status == Status::kFlushed) ++tx_flushed_;
   if (tx_retire_) tx_retire_(cqe.completes);
+}
+
+bool Endpoint::qp_in_error() const {
+  return nic_ != nullptr && nic_->qp_state(cfg_.qp) == nic::QpState::kError;
+}
+
+sim::Task<Status> Endpoint::reconnect() {
+  if (nic_ == nullptr) co_return Status::kIoError;
+  // Drain every outstanding op first. A QP in the error state has
+  // already flushed them as error CQEs; a healthy QP finishes them
+  // normally. Either way progress() retires them all.
+  double backoff_ns = 0.0;
+  while (outstanding_ > 0) {
+    const std::uint32_t progressed = co_await worker_.progress();
+    if (progressed > 0) {
+      backoff_ns = 0.0;
+      continue;
+    }
+    backoff_ns = backoff_ns == 0.0 ? 50.0 : std::min(backoff_ns * 2.0, 4000.0);
+    co_await worker_.core().simulator().delay(TimePs::from_ns(backoff_ns));
+  }
+  // Modify-QP ladder, then poll for the re-handshake like a verbs driver
+  // polls the async event queue.
+  nic_->qp_reset(cfg_.qp);
+  nic_->qp_connect(cfg_.qp, cfg_.peer_node);
+  backoff_ns = 100.0;
+  while (nic_->qp_state(cfg_.qp) == nic::QpState::kConnecting) {
+    co_await worker_.core().simulator().delay(TimePs::from_ns(backoff_ns));
+    backoff_ns = std::min(backoff_ns * 2.0, 4000.0);
+  }
+  co_return nic_->qp_state(cfg_.qp) == nic::QpState::kRts ? Status::kOk
+                                                          : Status::kIoError;
 }
 
 }  // namespace bb::llp

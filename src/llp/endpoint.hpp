@@ -22,6 +22,10 @@
 #include "pcie/root_complex.hpp"
 #include "pcie/tlp.hpp"
 
+namespace bb::nic {
+class Nic;
+}
+
 namespace bb::llp {
 
 struct EndpointConfig {
@@ -49,7 +53,10 @@ struct EndpointConfig {
 
 class Endpoint {
  public:
-  Endpoint(Worker& worker, pcie::RootComplex& rc, EndpointConfig cfg);
+  /// `nic` (optional) is this node's NIC, used for QP state queries and
+  /// the reconnect path; without it reconnect() reports kIoError.
+  Endpoint(Worker& worker, pcie::RootComplex& rc, EndpointConfig cfg,
+           nic::Nic* nic = nullptr);
 
   const EndpointConfig& config() const { return cfg_; }
   EndpointConfig& config() { return cfg_; }
@@ -75,12 +82,24 @@ class Endpoint {
   /// signalling period. No-op when nothing is outstanding.
   sim::Task<Status> flush();
 
+  /// Whether this endpoint's QP sits in the error state (retry budget
+  /// exhausted; posts are flushed until reconnect()).
+  bool qp_in_error() const;
+  /// QP recovery (docs/TRANSPORT.md): drains every outstanding
+  /// completion (the error flush already queued error CQEs for them),
+  /// walks the modify-QP ladder (reset -> init -> RTR -> RTS) and polls
+  /// with backoff until the re-handshake lands. kOk once the QP is back
+  /// in RTS; flushed ops must be reposted by the caller.
+  sim::Task<Status> reconnect();
+
   /// Ops posted but not yet retired by a polled CQE.
   std::uint32_t outstanding() const { return outstanding_; }
   std::uint64_t posted() const { return posted_; }
   std::uint64_t busy_posts() const { return busy_posts_; }
   /// Ops retired by a completion-with-error (fault path).
   std::uint64_t tx_errors() const { return tx_errors_; }
+  /// Subset of tx_errors that were QP-error flushes (kFlushed).
+  std::uint64_t tx_flushed() const { return tx_flushed_; }
 
   /// Invoked by the worker when a TX CQE retires `k` ops (upper layers
   /// hook their send-progress accounting here).
@@ -101,10 +120,12 @@ class Endpoint {
   Worker& worker_;
   pcie::RootComplex& rc_;
   EndpointConfig cfg_;
+  nic::Nic* nic_ = nullptr;
   std::uint32_t outstanding_ = 0;
   std::uint64_t posted_ = 0;
   std::uint64_t busy_posts_ = 0;
   std::uint64_t tx_errors_ = 0;
+  std::uint64_t tx_flushed_ = 0;
   std::uint64_t signal_counter_ = 0;
   std::uint64_t doorbell_counter_ = 0;
   std::uint64_t next_payload_addr_ = 0x1000;

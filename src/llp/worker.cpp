@@ -32,6 +32,7 @@ sim::Task<std::uint32_t> Worker::progress(std::uint32_t max_completions) {
       if (wrap_prog) profiler_->end(r);
       ++rx_completions_;
       if (cqe->status != common::Status::kOk) ++error_completions_;
+      if (cqe->status == common::Status::kFlushed) ++flushed_completions_;
       ++n;
       found = true;
       if (rx_handler_) rx_handler_(*cqe);
@@ -47,6 +48,7 @@ sim::Task<std::uint32_t> Worker::progress(std::uint32_t max_completions) {
         ++tx_cqes_polled_;
         tx_ops_retired_ += cqe->completes;
         if (cqe->status != common::Status::kOk) ++error_completions_;
+        if (cqe->status == common::Status::kFlushed) ++flushed_completions_;
         ++n;
         found = true;
         ep->on_tx_cqe(*cqe);

@@ -65,6 +65,9 @@ class Worker {
   std::uint64_t rx_completions() const { return rx_completions_; }
   /// Completions-with-error surfaced through this worker (fault path).
   std::uint64_t error_completions() const { return error_completions_; }
+  /// Subset of error completions that were QP-error flushes (kFlushed):
+  /// ops that never failed themselves but lost their QP underneath them.
+  std::uint64_t flushed_completions() const { return flushed_completions_; }
 
   /// Shared fault-stat accumulator (wired by the testbed when fault
   /// injection is enabled).
@@ -85,6 +88,7 @@ class Worker {
   std::uint64_t tx_ops_retired_ = 0;
   std::uint64_t rx_completions_ = 0;
   std::uint64_t error_completions_ = 0;
+  std::uint64_t flushed_completions_ = 0;
   fault::FaultStats* fault_stats_ = nullptr;
 };
 

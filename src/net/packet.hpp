@@ -1,5 +1,11 @@
 #pragma once
-// Packets on the high-performance interconnect between the two NICs.
+// Packets on the high-performance interconnect between the NICs.
+//
+// Data packets carry a per-QP packet sequence number (PSN) so the RC
+// transport in the NIC (docs/TRANSPORT.md) can detect loss, discard
+// duplicates and NAK sequence gaps. Control packets (ACK/NAK/RNR-NAK and
+// the connect handshake) carry no payload; their `psn` field is the
+// cumulative/expected sequence number of the flow they report on.
 
 #include <cstdint>
 #include <string>
@@ -9,31 +15,54 @@
 namespace bb::net {
 
 struct NetPacket {
+  enum class Kind : std::uint8_t {
+    kData = 0,     // message payload, PSN-sequenced
+    kAck,          // cumulative ACK: every PSN <= psn received
+    kNak,          // PSN gap: retransmit from `psn` (go-back-N)
+    kRnrNak,       // receiver-not-ready: PSN `psn` refused, retry later
+    kConnect,      // QP re-handshake: receiver resets its flow to `psn`
+    kConnectAck,   // handshake complete, sender may enter RTS
+  };
+
+  Kind kind = Kind::kData;
   std::uint64_t msg_id = 0;
   int src_node = 0;
   int dst_node = 0;
-  /// Link-level acknowledgement from the target NIC (§2 step 4): carries
-  /// no payload and triggers completion generation at the initiator.
-  bool is_ack = false;
+  /// RC flow identity: the sender's queue pair number.
+  std::uint32_t qp = 0;
+  /// Data: this packet's sequence number (1-based per QP flow).
+  /// Ack: highest PSN cumulatively acknowledged.
+  /// Nak/RnrNak: the PSN the receiver expects / refused.
+  /// Connect/ConnectAck: the starting PSN of the re-established flow.
+  std::uint64_t psn = 0;
   std::uint32_t payload_bytes = 0;
   pcie::WireMd md;  // delivery semantics for data packets
 
-  static NetPacket data(const pcie::WireMd& md_, int src, int dst) {
+  bool is_data() const { return kind == Kind::kData; }
+
+  static NetPacket data(const pcie::WireMd& md_, int src, int dst,
+                        std::uint64_t psn_) {
     NetPacket p;
+    p.kind = Kind::kData;
     p.msg_id = md_.msg_id;
     p.src_node = src;
     p.dst_node = dst;
+    p.qp = md_.qp;
+    p.psn = psn_;
     p.payload_bytes = md_.payload_bytes;
     p.md = md_;
     return p;
   }
 
-  static NetPacket ack(std::uint64_t msg_id_, int src, int dst) {
+  /// Control packet (ACK/NAK/RNR-NAK/connect); carries no payload.
+  static NetPacket ctrl(Kind kind_, std::uint32_t qp_, std::uint64_t psn_,
+                        int src, int dst) {
     NetPacket p;
-    p.msg_id = msg_id_;
+    p.kind = kind_;
     p.src_node = src;
     p.dst_node = dst;
-    p.is_ack = true;
+    p.qp = qp_;
+    p.psn = psn_;
     return p;
   }
 };

@@ -1,8 +1,25 @@
 #include "nic/nic.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/assert.hpp"
 
 namespace bb::nic {
+
+std::string to_string(QpState s) {
+  switch (s) {
+    case QpState::kRts:
+      return "RTS";
+    case QpState::kError:
+      return "ERROR";
+    case QpState::kReset:
+      return "RESET";
+    case QpState::kConnecting:
+      return "CONNECTING";
+  }
+  BB_UNREACHABLE("bad QpState");
+}
 
 Nic::Nic(sim::Simulator& sim, pcie::Link& link, net::Fabric& fabric,
          int node_id, NicParams params, HostMemory& host,
@@ -153,7 +170,8 @@ void Nic::on_poisoned_tlp(const pcie::Tlp& tlp) {
   }
 }
 
-void Nic::complete_with_error(std::uint32_t qp, std::uint64_t msg_id) {
+void Nic::complete_with_error(std::uint32_t qp, std::uint64_t msg_id,
+                              common::Status status) {
   std::uint32_t& pending = pending_completes_[qp];
   pcie::Tlp tlp;
   tlp.type = pcie::TlpType::kMemWrite;
@@ -164,7 +182,7 @@ void Nic::complete_with_error(std::uint32_t qp, std::uint64_t msg_id) {
   // Retires the failed op plus every unsignalled predecessor on the QP
   // (those did complete; the error status flags the tail op).
   cqe.completes = pending + 1;
-  cqe.status = common::Status::kIoError;
+  cqe.status = status;
   pending = 0;
   tlp.content = cqe;
   ++cqes_written_;
@@ -222,12 +240,21 @@ void Nic::on_read_completion(const pcie::ReadRequest& req,
 }
 
 void Nic::inject(const pcie::WireMd& md) {
-  BB_ASSERT_MSG(in_flight_.find(md.msg_id) == in_flight_.end(),
-                "duplicate msg_id injection");
-  in_flight_[md.msg_id] = md;
-  ++messages_injected_;
+  TxFlow& f = tx_flows_[md.qp];
+  if (f.state != QpState::kRts) {
+    // Posts against a non-RTS QP are flushed immediately with an error
+    // CQE (verbs semantics); the op never reaches the wire.
+    ++tstats_.flushed_wqes;
+    complete_with_error(md.qp, md.msg_id, common::Status::kFlushed);
+    return;
+  }
   const int dst = md.dst_node >= 0 ? md.dst_node : 1 - node_id_;
-  fabric_.send(net::NetPacket::data(md, node_id_, dst));
+  f.peer = dst;
+  const std::uint64_t psn = f.next_psn++;
+  f.unacked.push_back(TxEntry{psn, md});
+  ++messages_injected_;
+  fabric_.send(net::NetPacket::data(md, node_id_, dst, psn));
+  arm_retry_timer(md.qp, f);
 }
 
 void Nic::send_upstream(pcie::Tlp tlp) {
@@ -247,20 +274,83 @@ sim::Task<void> Nic::upstream_pump() {
   }
 }
 
+void Nic::send_ctrl(net::NetPacket::Kind kind, std::uint32_t qp,
+                    std::uint64_t psn, int dst, double delay_ns) {
+  sim_.call_in(TimePs::from_ns(delay_ns), [this, kind, qp, psn, dst] {
+    fabric_.send(net::NetPacket::ctrl(kind, qp, psn, node_id_, dst));
+  });
+}
+
 void Nic::on_fabric_packet(const net::NetPacket& pkt) {
-  if (pkt.is_ack) {
-    sim_.call_in(TimePs::from_ns(params_.ack_handle_ns),
-                 [this, msg_id = pkt.msg_id] { on_ack(msg_id); });
+  using Kind = net::NetPacket::Kind;
+  switch (pkt.kind) {
+    case Kind::kData:
+      on_data_packet(pkt);
+      return;
+    case Kind::kAck:
+      sim_.call_in(TimePs::from_ns(params_.ack_handle_ns),
+                   [this, qp = pkt.qp, psn = pkt.psn] { on_rc_ack(qp, psn); });
+      return;
+    case Kind::kNak:
+      sim_.call_in(TimePs::from_ns(params_.ack_handle_ns),
+                   [this, qp = pkt.qp, psn = pkt.psn] { on_rc_nak(qp, psn); });
+      return;
+    case Kind::kRnrNak:
+      sim_.call_in(TimePs::from_ns(params_.ack_handle_ns),
+                   [this, qp = pkt.qp, psn = pkt.psn] { on_rnr_nak(qp, psn); });
+      return;
+    case Kind::kConnect:
+      on_connect(pkt);
+      return;
+    case Kind::kConnectAck:
+      sim_.call_in(TimePs::from_ns(params_.ack_handle_ns),
+                   [this, qp = pkt.qp] { on_connect_ack(qp); });
+      return;
+  }
+  BB_UNREACHABLE("bad NetPacket kind");
+}
+
+void Nic::on_data_packet(const net::NetPacket& pkt) {
+  RxFlow& rf = rx_flows_[{pkt.src_node, pkt.qp}];
+  const pcie::WireMd& md = pkt.md;
+
+  if (pkt.psn < rf.expected_psn) {
+    // Stale PSN: a duplicate (wire fault or go-back-N overshoot). Discard
+    // and re-ACK so the requester can purge its window even if the
+    // original ACK was lost.
+    ++tstats_.duplicates_discarded;
+    ++tstats_.acks_sent;
+    send_ctrl(net::NetPacket::Kind::kAck, pkt.qp, rf.expected_psn - 1,
+              pkt.src_node, params_.rx_proc_ns + params_.ack_gen_ns);
+    return;
+  }
+  if (pkt.psn > rf.expected_psn) {
+    // Sequence gap: a predecessor was lost or overtaken. One NAK per gap
+    // window (further out-of-order arrivals are dropped silently until
+    // the expected PSN shows up), mirroring the data-link Nak window.
+    if (!rf.nak_outstanding) {
+      rf.nak_outstanding = true;
+      ++tstats_.naks_sent;
+      send_ctrl(net::NetPacket::Kind::kNak, pkt.qp, rf.expected_psn,
+                pkt.src_node, params_.rx_proc_ns + params_.ack_gen_ns);
+    }
     return;
   }
 
-  // Inbound data packet.
-  const pcie::WireMd& md = pkt.md;
-  if (md.op == pcie::WireOp::kSend) {
-    BB_ASSERT_MSG(rq_available_ > 0,
-                  "inbound send with no posted receive (RNR)");
-    --rq_available_;
+  if (md.op == pcie::WireOp::kSend && rq_available_ == 0) {
+    // Receiver not ready: no posted receive for an inbound send. Refuse
+    // the PSN (it stays expected) and tell the requester to back off and
+    // retry -- the late-posted-receive path, previously a hard error.
+    ++tstats_.rnr_naks_sent;
+    send_ctrl(net::NetPacket::Kind::kRnrNak, pkt.qp, pkt.psn, pkt.src_node,
+              params_.rx_proc_ns + params_.ack_gen_ns);
+    return;
   }
+
+  // In-sequence accept.
+  rf.expected_psn = pkt.psn + 1;
+  rf.nak_outstanding = false;
+  if (md.op == pcie::WireOp::kSend) --rq_available_;
   sim_.call_in(TimePs::from_ns(params_.rx_proc_ns),
                [this, md] {
                  pcie::Tlp tlp;
@@ -277,17 +367,32 @@ void Nic::on_fabric_packet(const net::NetPacket& pkt) {
                });
   // §2 step 4: acknowledge to the initiator NIC. The ACK does not wait
   // for the payload's RC-to-MEM commit.
-  sim_.call_in(TimePs::from_ns(params_.rx_proc_ns + params_.ack_gen_ns),
-               [this, msg_id = pkt.msg_id, src = pkt.src_node] {
-                 fabric_.send(net::NetPacket::ack(msg_id, node_id_, src));
-               });
+  if (params_.ack_coalesce_ns <= 0.0) {
+    ++tstats_.acks_sent;
+    send_ctrl(net::NetPacket::Kind::kAck, pkt.qp, pkt.psn, pkt.src_node,
+              params_.rx_proc_ns + params_.ack_gen_ns);
+    return;
+  }
+  // Coalesced: one cumulative ACK covers every packet accepted while the
+  // coalescing window was open.
+  rf.ack_due_psn = pkt.psn;
+  if (!rf.ack_timer_armed) {
+    rf.ack_timer_armed = true;
+    const auto key = std::make_pair(pkt.src_node, pkt.qp);
+    sim_.call_in(TimePs::from_ns(params_.rx_proc_ns + params_.ack_gen_ns +
+                                 params_.ack_coalesce_ns),
+                 [this, key] {
+                   RxFlow& flow = rx_flows_[key];
+                   flow.ack_timer_armed = false;
+                   ++tstats_.acks_sent;
+                   fabric_.send(net::NetPacket::ctrl(
+                       net::NetPacket::Kind::kAck, key.second,
+                       flow.ack_due_psn, node_id_, key.first));
+                 });
+  }
 }
 
-void Nic::on_ack(std::uint64_t msg_id) {
-  auto it = in_flight_.find(msg_id);
-  BB_ASSERT_MSG(it != in_flight_.end(), "ACK for unknown message");
-  const pcie::WireMd md = it->second;
-  in_flight_.erase(it);
+void Nic::complete_message(const pcie::WireMd& md) {
   ++acks_received_;
 
   // Unsignalled-completion moderation: a signalled descriptor's CQE
@@ -307,6 +412,235 @@ void Nic::on_ack(std::uint64_t msg_id) {
     ++cqes_written_;
     send_upstream(std::move(tlp));
   }
+}
+
+void Nic::on_rc_ack(std::uint32_t qp, std::uint64_t psn) {
+  TxFlow& f = tx_flows_[qp];
+  ++tstats_.acks_received;
+  if (f.state != QpState::kRts) return;  // stale ACK after error/reset
+  bool progress = false;
+  while (!f.unacked.empty() && f.unacked.front().psn <= psn) {
+    const pcie::WireMd md = f.unacked.front().md;
+    f.unacked.pop_front();
+    progress = true;
+    complete_message(md);
+  }
+  if (!progress) return;  // duplicate cumulative ACK
+  // Forward progress resets the retry budget and backoff (IB semantics:
+  // the budgets bound *consecutive* failures).
+  f.retry_count = 0;
+  f.rnr_count = 0;
+  f.rnr_wait = false;
+  f.cur_timeout_ns = params_.retry_timeout_ns;
+  cancel_retry_timer(f);
+  arm_retry_timer(qp, f);
+}
+
+void Nic::on_rc_nak(std::uint32_t qp, std::uint64_t psn) {
+  TxFlow& f = tx_flows_[qp];
+  ++tstats_.naks_received;
+  if (f.state != QpState::kRts) return;
+  // A NAK for `psn` implicitly ACKs everything before it.
+  while (!f.unacked.empty() && f.unacked.front().psn < psn) {
+    const pcie::WireMd md = f.unacked.front().md;
+    f.unacked.pop_front();
+    complete_message(md);
+  }
+  if (f.rnr_wait) return;  // backoff pending; it will retransmit anyway
+  retransmit_flow(qp);
+  cancel_retry_timer(f);
+  arm_retry_timer(qp, f);
+}
+
+void Nic::on_rnr_nak(std::uint32_t qp, std::uint64_t psn) {
+  TxFlow& f = tx_flows_[qp];
+  ++tstats_.rnr_naks_received;
+  if (f.state != QpState::kRts) return;
+  // Everything before the refused PSN was accepted.
+  while (!f.unacked.empty() && f.unacked.front().psn < psn) {
+    const pcie::WireMd md = f.unacked.front().md;
+    f.unacked.pop_front();
+    complete_message(md);
+  }
+  if (f.rnr_wait) return;  // one backoff at a time
+  ++f.rnr_count;
+  if (f.rnr_count > params_.rnr_retry_cnt) {
+    qp_error(qp);
+    return;
+  }
+  // Back off rnr_timer * backoff^(n-1), then go-back-N. The transport
+  // retry timer is quiesced during the wait so it cannot double-fire.
+  const double delay_ns =
+      params_.rnr_timer_ns *
+      std::pow(params_.rnr_backoff, static_cast<double>(f.rnr_count - 1));
+  f.rnr_wait = true;
+  cancel_retry_timer(f);
+  const std::uint64_t epoch = f.timer_epoch;
+  sim_.call_in(TimePs::from_ns(delay_ns), [this, qp, epoch] {
+    TxFlow& flow = tx_flows_[qp];
+    if (flow.state != QpState::kRts || flow.timer_epoch != epoch) return;
+    flow.rnr_wait = false;
+    retransmit_flow(qp);
+    arm_retry_timer(qp, flow);
+  });
+}
+
+void Nic::retransmit_flow(std::uint32_t qp) {
+  TxFlow& f = tx_flows_[qp];
+  if (f.state != QpState::kRts) return;
+  for (const TxEntry& e : f.unacked) {
+    ++tstats_.retransmits;
+    fabric_.send(net::NetPacket::data(e.md, node_id_, f.peer, e.psn));
+  }
+}
+
+void Nic::arm_retry_timer(std::uint32_t qp, TxFlow& f) {
+  // On a reliable wire the NAK/RNR paths recover everything; arming the
+  // timer would schedule events the error-free goldens don't have.
+  if (!fabric_.lossy()) return;
+  if (f.timer_armed || f.rnr_wait) return;
+  if (f.unacked.empty() && f.state != QpState::kConnecting) return;
+  if (f.cur_timeout_ns <= 0.0) f.cur_timeout_ns = params_.retry_timeout_ns;
+  f.timer_armed = true;
+  const std::uint64_t epoch = ++f.timer_epoch;
+  sim_.call_in(TimePs::from_ns(f.cur_timeout_ns),
+               [this, qp, epoch] { on_retry_timeout(qp, epoch); });
+}
+
+void Nic::cancel_retry_timer(TxFlow& f) {
+  f.timer_armed = false;
+  ++f.timer_epoch;
+}
+
+void Nic::on_retry_timeout(std::uint32_t qp, std::uint64_t epoch) {
+  TxFlow& f = tx_flows_[qp];
+  if (!f.timer_armed || f.timer_epoch != epoch) return;  // stale timer
+  f.timer_armed = false;
+  if (f.state == QpState::kConnecting) {
+    // The connect (or its ack) was lost; resend the handshake.
+    ++tstats_.retry_timer_firings;
+    ++f.retry_count;
+    if (f.retry_count > params_.retry_cnt) {
+      qp_error(qp);
+      return;
+    }
+    fabric_.send(net::NetPacket::ctrl(net::NetPacket::Kind::kConnect, qp,
+                                      f.next_psn, node_id_, f.peer));
+    f.cur_timeout_ns =
+        std::min(f.cur_timeout_ns * params_.retry_backoff,
+                 params_.retry_timeout_max_ns);
+    arm_retry_timer(qp, f);
+    return;
+  }
+  if (f.state != QpState::kRts || f.unacked.empty()) return;
+  ++tstats_.retry_timer_firings;
+  ++f.retry_count;
+  if (f.retry_count > params_.retry_cnt) {
+    qp_error(qp);
+    return;
+  }
+  retransmit_flow(qp);
+  f.cur_timeout_ns = std::min(f.cur_timeout_ns * params_.retry_backoff,
+                              params_.retry_timeout_max_ns);
+  arm_retry_timer(qp, f);
+}
+
+void Nic::qp_error(std::uint32_t qp) {
+  TxFlow& f = tx_flows_[qp];
+  if (f.state == QpState::kError) return;
+  f.state = QpState::kError;
+  ++tstats_.qp_errors;
+  cancel_retry_timer(f);
+  f.rnr_wait = false;
+  // Flush the send queue: the head WQE is the one whose retries
+  // exhausted (kIoError); everything behind it never got a verdict and
+  // is flushed (kFlushed), verbs-style.
+  bool first = true;
+  while (!f.unacked.empty()) {
+    const TxEntry e = f.unacked.front();
+    f.unacked.pop_front();
+    ++tstats_.flushed_wqes;
+    complete_with_error(qp, e.md.msg_id,
+                        first ? common::Status::kIoError
+                              : common::Status::kFlushed);
+    first = false;
+  }
+}
+
+QpState Nic::qp_state(std::uint32_t qp) const {
+  const auto it = tx_flows_.find(qp);
+  return it == tx_flows_.end() ? QpState::kRts : it->second.state;
+}
+
+std::size_t Nic::tx_unacked() const {
+  std::size_t n = 0;
+  for (const auto& [qp, f] : tx_flows_) n += f.unacked.size();
+  return n;
+}
+
+void Nic::qp_reset(std::uint32_t qp) {
+  TxFlow& f = tx_flows_[qp];
+  cancel_retry_timer(f);
+  while (!f.unacked.empty()) {
+    const TxEntry e = f.unacked.front();
+    f.unacked.pop_front();
+    ++tstats_.flushed_wqes;
+    complete_with_error(qp, e.md.msg_id, common::Status::kFlushed);
+  }
+  f.state = QpState::kReset;
+  f.retry_count = 0;
+  f.rnr_count = 0;
+  f.rnr_wait = false;
+  f.cur_timeout_ns = 0.0;
+  // next_psn is NOT reset: the reconnect handshake hands the responder a
+  // fresh starting PSN, so a scheduled kKillData on an old PSN cannot
+  // re-kill the recovered flow.
+}
+
+void Nic::qp_connect(std::uint32_t qp, int peer_node) {
+  TxFlow& f = tx_flows_[qp];
+  BB_ASSERT_MSG(f.state == QpState::kReset,
+                "qp_connect requires a RESET QP (call qp_reset first)");
+  if (peer_node >= 0) f.peer = peer_node;
+  if (f.peer < 0) f.peer = 1 - node_id_;
+  f.state = QpState::kConnecting;
+  f.cur_timeout_ns = params_.retry_timeout_ns;
+  // The modify-QP ladder (reset -> init -> RTR -> RTS on both ends)
+  // costs qp_recovery_ns of driver/firmware work before the connect
+  // packet re-synchronises the responder's expected PSN.
+  const std::uint64_t epoch = f.timer_epoch;
+  sim_.call_in(TimePs::from_ns(params_.qp_recovery_ns), [this, qp, epoch] {
+    TxFlow& flow = tx_flows_[qp];
+    if (flow.state != QpState::kConnecting || flow.timer_epoch != epoch) {
+      return;
+    }
+    fabric_.send(net::NetPacket::ctrl(net::NetPacket::Kind::kConnect, qp,
+                                      flow.next_psn, node_id_, flow.peer));
+    arm_retry_timer(qp, flow);
+  });
+}
+
+void Nic::on_connect(const net::NetPacket& pkt) {
+  // Responder side of the re-handshake: restart the flow at the PSN the
+  // requester announces. Idempotent -- a duplicated/retried connect just
+  // re-applies the same state and earns another connect-ack.
+  RxFlow& rf = rx_flows_[{pkt.src_node, pkt.qp}];
+  rf = RxFlow{};
+  rf.expected_psn = pkt.psn;
+  send_ctrl(net::NetPacket::Kind::kConnectAck, pkt.qp, pkt.psn, pkt.src_node,
+            params_.rx_proc_ns);
+}
+
+void Nic::on_connect_ack(std::uint32_t qp) {
+  TxFlow& f = tx_flows_[qp];
+  if (f.state != QpState::kConnecting) return;  // duplicate connect-ack
+  f.state = QpState::kRts;
+  f.retry_count = 0;
+  f.rnr_count = 0;
+  f.rnr_wait = false;
+  f.cur_timeout_ns = params_.retry_timeout_ns;
+  cancel_retry_timer(f);
+  ++tstats_.qp_recoveries;
 }
 
 }  // namespace bb::nic

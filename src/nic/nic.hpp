@@ -21,9 +21,25 @@
 // RX path: an inbound RDMA write is DMA-written to host memory; an
 // inbound send consumes a posted receive and its payload write carries
 // the receive completion.
+//
+// RC transport (docs/TRANSPORT.md): every data packet carries a per-QP
+// PSN. The responder acknowledges cumulatively, NAKs sequence gaps
+// (go-back-N retransmission), and answers an inbound send with no posted
+// receive with an RNR NAK (the requester backs off `rnr_timer_ns` and
+// retries). On a lossy fabric a transport retry timer with exponential
+// backoff backstops lost packets and lost ACKs; exhausting `retry_cnt`
+// (or `rnr_retry_cnt`) moves the QP to the error state, flushing every
+// outstanding WQE as an error CQE. Recovery is the verbs modify-QP ladder:
+// qp_reset() then qp_connect(), which re-handshakes the flow with the
+// responder and returns the QP to RTS. With wire faults disabled the
+// transport bookkeeping is pure state -- no timers are armed and no extra
+// events are scheduled, so error-free runs stay bit-identical.
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <string>
+#include <utility>
 
 #include "common/units.hpp"
 #include "fault/fault.hpp"
@@ -56,7 +72,40 @@ struct NicParams {
   /// DMA payload reads reissued after a poisoned completion before the
   /// operation is retired with an error CQE.
   int max_read_retries = 2;
+
+  // --- RC transport (docs/TRANSPORT.md) ----------------------------------
+  /// Transport retry timer: time without ACK progress before a go-back-N
+  /// retransmission. Doubles per consecutive expiry up to
+  /// retry_timeout_max_ns. Armed only when the fabric is lossy.
+  double retry_timeout_ns = 8000.0;
+  double retry_backoff = 2.0;
+  double retry_timeout_max_ns = 64000.0;
+  /// Consecutive retry-timer expiries tolerated before the QP errors.
+  int retry_cnt = 7;
+  /// RNR NAK backoff base; doubles per consecutive RNR NAK on the flow.
+  double rnr_timer_ns = 1000.0;
+  double rnr_backoff = 2.0;
+  /// Consecutive RNR NAKs tolerated before the QP errors.
+  int rnr_retry_cnt = 7;
+  /// >0: the responder coalesces ACKs, delaying them by this much so one
+  /// cumulative ACK covers a burst. 0 (default) acknowledges every data
+  /// packet immediately -- the pre-transport timeline, kept so error-free
+  /// goldens stay bit-identical.
+  double ack_coalesce_ns = 0.0;
+  /// Modify-QP ladder processing (reset -> init -> RTR -> RTS) before the
+  /// reconnect handshake's packet is emitted.
+  double qp_recovery_ns = 500.0;
 };
+
+/// RC queue-pair state (the relevant subset of the verbs ladder).
+enum class QpState : std::uint8_t {
+  kRts = 0,     // ready to send (the operational state)
+  kError,       // retry budget exhausted; WQEs flushed as error CQEs
+  kReset,       // after qp_reset(); posts are flushed immediately
+  kConnecting,  // qp_connect() issued, handshake in flight
+};
+
+std::string to_string(QpState s);
 
 class Nic {
  public:
@@ -75,6 +124,20 @@ class Nic {
   void post_receives(std::uint32_t n) { rq_available_ += n; }
   std::uint32_t rq_available() const { return rq_available_; }
 
+  // RC transport control (docs/TRANSPORT.md).
+  /// Current state of `qp`'s requester-side flow (kRts if never used).
+  QpState qp_state(std::uint32_t qp) const;
+  /// Modify-QP to RESET: flushes every outstanding WQE on `qp` with an
+  /// error CQE (status kFlushed) and clears the flow.
+  void qp_reset(std::uint32_t qp);
+  /// Re-handshake (reset -> init -> RTR -> RTS): after `qp_recovery_ns`
+  /// a connect packet re-synchronises the responder's expected PSN; on
+  /// the connect-ack the QP returns to RTS. `peer_node` < 0 keeps the
+  /// flow's previous peer (or the two-node default).
+  void qp_connect(std::uint32_t qp, int peer_node = -1);
+  /// Data packets posted but not yet cumulatively ACKed, all QPs.
+  std::size_t tx_unacked() const;
+
   // Statistics.
   std::uint64_t messages_injected() const { return messages_injected_; }
   std::uint64_t acks_received() const { return acks_received_; }
@@ -83,6 +146,8 @@ class Nic {
   std::uint64_t credit_stalls() const { return credit_stalls_; }
   std::uint64_t error_cqes() const { return error_cqes_; }
   std::uint64_t read_retries() const { return read_retries_; }
+  /// RC-transport counters (protocol side; the fabric holds the wire side).
+  const net::TransportStats& transport_stats() const { return tstats_; }
 
   /// Shared fault-stat accumulator (the link's injector owns it); error
   /// completions and read retries are counted there too when set.
@@ -104,13 +169,39 @@ class Nic {
   void issue_dma_read(pcie::ReadRequest req, int attempts = 0);
   void on_read_completion(const pcie::ReadRequest& req,
                           const pcie::ReadCompletion& rc);
-  void on_ack(std::uint64_t msg_id);
   /// Fault recovery: handles a poisoned downstream TLP (error-forwarded
   /// after exhausted link replays).
   void on_poisoned_tlp(const pcie::Tlp& tlp);
   /// Retires `msg_id` (and every unsignalled predecessor on `qp`) with a
   /// completion-with-error.
-  void complete_with_error(std::uint32_t qp, std::uint64_t msg_id);
+  void complete_with_error(std::uint32_t qp, std::uint64_t msg_id,
+                           common::Status status = common::Status::kIoError);
+
+  // RC transport internals.
+  struct TxFlow;
+  struct RxFlow;
+  void on_data_packet(const net::NetPacket& pkt);
+  /// Completion generation for one cumulatively-ACKed message (§2 step 5).
+  void complete_message(const pcie::WireMd& md);
+  void on_rc_ack(std::uint32_t qp, std::uint64_t psn);
+  void on_rc_nak(std::uint32_t qp, std::uint64_t psn);
+  void on_rnr_nak(std::uint32_t qp, std::uint64_t psn);
+  void on_connect(const net::NetPacket& pkt);
+  void on_connect_ack(std::uint32_t qp);
+  /// Resends every unacked data packet on `qp` in PSN order (go-back-N).
+  void retransmit_flow(std::uint32_t qp);
+  /// Arms the transport retry timer (lossy fabric only; no-op otherwise).
+  void arm_retry_timer(std::uint32_t qp, TxFlow& f);
+  void cancel_retry_timer(TxFlow& f);
+  void on_retry_timeout(std::uint32_t qp, std::uint64_t epoch);
+  /// Moves `qp` to the error state, flushing outstanding WQEs: the head
+  /// (the WQE whose retries exhausted) retires kIoError, the rest
+  /// kFlushed.
+  void qp_error(std::uint32_t qp);
+  /// Responder-side control send (ACK/NAK/RNR-NAK/connect-ack) after
+  /// `delay_ns` of NIC processing.
+  void send_ctrl(net::NetPacket::Kind kind, std::uint32_t qp,
+                 std::uint64_t psn, int dst, double delay_ns);
 
   sim::Simulator& sim_;
   pcie::Link& link_;
@@ -123,8 +214,45 @@ class Nic {
   sim::Channel<pcie::Tlp> up_ingress_;
   sim::Signal up_credit_avail_;
 
-  /// In-flight messages awaiting the target-NIC ACK, by msg_id.
-  std::map<std::uint64_t, pcie::WireMd> in_flight_;
+  /// Requester-side RC flow state, one per QP.
+  struct TxEntry {
+    std::uint64_t psn = 0;
+    pcie::WireMd md;
+  };
+  struct TxFlow {
+    QpState state = QpState::kRts;
+    int peer = -1;
+    /// Next PSN to assign. Monotonic across reconnects: a fresh
+    /// connection continues the PSN space rather than reusing it.
+    std::uint64_t next_psn = 1;
+    /// Sent-but-not-cumulatively-ACKed packets, PSN order (go-back-N
+    /// window).
+    std::deque<TxEntry> unacked;
+    int retry_count = 0;
+    int rnr_count = 0;
+    /// True while an RNR backoff delay is pending (suppresses
+    /// NAK-triggered retransmits that would just re-trip the RNR).
+    bool rnr_wait = false;
+    double cur_timeout_ns = 0.0;
+    /// Timer-cancellation epoch: bumping it invalidates in-flight timer
+    /// events (same idiom as pcie::Link's replay timer).
+    std::uint64_t timer_epoch = 0;
+    bool timer_armed = false;
+  };
+  /// Responder-side flow state, keyed by (source node, QP).
+  struct RxFlow {
+    std::uint64_t expected_psn = 1;
+    /// One NAK per gap window: cleared when the expected PSN arrives.
+    bool nak_outstanding = false;
+    /// ACK coalescing (ack_coalesce_ns > 0): highest accepted PSN and
+    /// whether a delayed cumulative ACK is already scheduled.
+    std::uint64_t ack_due_psn = 0;
+    bool ack_timer_armed = false;
+  };
+  std::map<std::uint32_t, TxFlow> tx_flows_;
+  std::map<std::pair<int, std::uint32_t>, RxFlow> rx_flows_;
+  net::TransportStats tstats_;
+
   /// Per-QP count of retired-but-unsignalled ops awaiting the next CQE.
   std::map<std::uint32_t, std::uint32_t> pending_completes_;
   /// Outstanding DMA reads by tag (attempts counts reissues so far).

@@ -7,7 +7,9 @@ namespace bb::scenario {
 Cluster::Cluster(SystemConfig cfg, int node_count, int analyzer_node)
     : cfg_(std::move(cfg)),
       sim_(cfg_.seed),
-      fabric_(sim_, cfg_.net, node_count),
+      wire_injector_(cfg_.fault.wire, derive_seed(cfg_.seed, 0x57B1FAB5ull)),
+      fabric_(sim_, cfg_.net, node_count,
+              cfg_.fault.wire.enabled() ? &wire_injector_ : nullptr),
       analyzer_node_(analyzer_node) {
   BB_ASSERT(node_count >= 2);
   BB_ASSERT(analyzer_node >= 0 && analyzer_node < node_count);
@@ -31,8 +33,18 @@ llp::Endpoint& Cluster::add_endpoint(int node_id, int peer_node,
   c.qp = next_qp_++;
   c.peer_node = peer_node;
   Node& n = node(node_id);
-  endpoints_.emplace_back(n.worker, n.rc, c);
+  endpoints_.emplace_back(n.worker, n.rc, c, &n.nic);
   return endpoints_.back();
+}
+
+net::TransportStats Cluster::net_stats() const {
+  net::TransportStats merged = fabric_.stats();
+  for (const auto& n : nodes_) merged.merge(n->nic.transport_stats());
+  return merged;
+}
+
+std::string Cluster::net_report() const {
+  return net_stats().render("Transport report: " + cfg_.name);
 }
 
 }  // namespace bb::scenario

@@ -34,9 +34,16 @@ class Cluster {
   llp::Endpoint& add_endpoint(int node_id, int peer_node,
                               std::optional<llp::EndpointConfig> cfg = {});
 
+  /// Merged reliable-transport accounting: fabric wire fates + every
+  /// node's RC protocol activity (docs/TRANSPORT.md).
+  net::TransportStats net_stats() const;
+  std::string net_report() const;
+
  private:
   SystemConfig cfg_;
   sim::Simulator sim_;
+  /// Must precede `fabric_`, which captures it at construction.
+  fault::WireInjector wire_injector_;
   net::Fabric fabric_;
   pcie::Analyzer analyzer_;
   int analyzer_node_ = 0;

@@ -106,6 +106,17 @@ Overlay faults(double tlp_corrupt_prob) {
   return faults(std::move(f));
 }
 
+Overlay wire_faults(fault::WireFaultConfig w) {
+  return {"wire-faults",
+          [w = std::move(w)](SystemConfig& c) { c.fault.wire = w; }};
+}
+
+Overlay wire_loss(double drop_prob) {
+  fault::WireFaultConfig w;
+  w.drop_prob = drop_prob;
+  return wire_faults(std::move(w));
+}
+
 }  // namespace overlays
 
 namespace presets {

@@ -96,6 +96,12 @@ Overlay incast_modeling(bool on = true);
 Overlay faults(fault::FaultConfig f);
 /// Convenience: uniform TLP corruption BER (the common ablation axis).
 Overlay faults(double tlp_corrupt_prob);
+/// Wire-level (fabric) faults with an explicit plan; the NIC's RC
+/// transport recovers (docs/TRANSPORT.md).
+Overlay wire_faults(fault::WireFaultConfig w);
+/// Convenience: uniform fabric packet-loss probability (the wire-loss
+/// ablation axis).
+Overlay wire_loss(double drop_prob);
 
 }  // namespace overlays
 

@@ -63,6 +63,14 @@ class Testbed {
   /// profiler, so `profiler.report()` shows them next to timing regions.
   void publish_fault_counters();
 
+  /// Merged reliable-transport accounting: the fabric's wire-side packet
+  /// fates plus both NICs' RC protocol activity (docs/TRANSPORT.md).
+  net::TransportStats net_stats() const;
+  std::string net_report() const;
+  /// Exports the merged transport stats as `net.*` counters on node 0's
+  /// profiler, mirroring publish_fault_counters().
+  void publish_net_counters();
+
   /// Creates an endpoint on `node_id` targeting the peer, using the config
   /// template (optionally overridden). Returned reference is stable.
   llp::Endpoint& add_endpoint(int node_id,
@@ -88,6 +96,10 @@ class Testbed {
  private:
   SystemConfig cfg_;
   sim::Simulator sim_;
+  /// Wire-level fault source shared by the fabric (inert when
+  /// cfg.fault.wire is disabled); must precede `fabric_`, which captures
+  /// it at construction.
+  fault::WireInjector wire_injector_;
   net::Fabric fabric_;
   pcie::Analyzer analyzer_;
   std::unique_ptr<Node> nodes_[2];

@@ -9,11 +9,11 @@ namespace {
 
 using namespace bb::literals;
 
-NetPacket data8(std::uint64_t id, int src) {
+NetPacket data8(std::uint64_t id, int src, std::uint64_t psn = 1) {
   pcie::WireMd md;
   md.msg_id = id;
   md.payload_bytes = 8;
-  return NetPacket::data(md, src, 1 - src);
+  return NetPacket::data(md, src, 1 - src, psn);
 }
 
 TEST(NetParams, NetworkLatencyIsWirePlusSwitches) {
@@ -46,11 +46,12 @@ TEST(Fabric, AckTravelsReverse) {
   Fabric f(sim, NetParams{});
   bool got_ack = false;
   f.attach(0, [&](const NetPacket& pkt) {
-    EXPECT_TRUE(pkt.is_ack);
+    EXPECT_EQ(pkt.kind, NetPacket::Kind::kAck);
+    EXPECT_EQ(pkt.psn, 9u);
     got_ack = true;
   });
   f.attach(1, [](const NetPacket&) {});
-  f.send(NetPacket::ack(9, 1, 0));
+  f.send(NetPacket::ctrl(NetPacket::Kind::kAck, /*qp=*/0, /*psn=*/9, 1, 0));
   sim.run();
   EXPECT_TRUE(got_ack);
 }
@@ -105,8 +106,8 @@ TEST(Fabric, IncastOffConcurrentSendersLandTogether) {
   f.attach(1, [&](const NetPacket&) { arrivals.push_back(sim.now().to_ns()); });
   pcie::WireMd md;
   md.payload_bytes = 4096;
-  f.send(NetPacket::data(md, 0, 1));
-  f.send(NetPacket::data(md, 2, 1));
+  f.send(NetPacket::data(md, 0, 1, 1));
+  f.send(NetPacket::data(md, 2, 1, 1));
   sim.run();
   ASSERT_EQ(arrivals.size(), 2u);
   // The receiver port is an infinite sink: both flows land at pure
@@ -126,8 +127,8 @@ TEST(Fabric, IncastOnSerializesConvergingFlows) {
   f.attach(1, [&](const NetPacket&) { arrivals.push_back(sim.now().to_ns()); });
   pcie::WireMd md;
   md.payload_bytes = 4096;
-  f.send(NetPacket::data(md, 0, 1));
-  f.send(NetPacket::data(md, 2, 1));
+  f.send(NetPacket::data(md, 0, 1, 1));
+  f.send(NetPacket::data(md, 2, 1, 1));
   sim.run();
   ASSERT_EQ(arrivals.size(), 2u);
   // Distinct senders, common destination: the second flow queues behind
@@ -148,12 +149,121 @@ TEST(Fabric, IncastOnLeavesDisjointDestinationsAlone) {
   f.attach(3, [&](const NetPacket&) { at3 = sim.now().to_ns(); });
   pcie::WireMd md;
   md.payload_bytes = 4096;
-  f.send(NetPacket::data(md, 0, 1));
-  f.send(NetPacket::data(md, 2, 3));
+  f.send(NetPacket::data(md, 0, 1, 1));
+  f.send(NetPacket::data(md, 2, 3, 1));
   sim.run();
   // No shared receiver, no interference even with incast modeling on.
   EXPECT_NEAR(at1, p.network_latency().to_ns(), 1e-6);
   EXPECT_NEAR(at3, p.network_latency().to_ns(), 1e-6);
+}
+
+// --- wire faults (docs/TRANSPORT.md) ---------------------------------------
+
+TEST(FabricFaults, ScheduledDropNeverArrivesAndIsCounted) {
+  sim::Simulator sim;
+  fault::WireFaultConfig w;
+  w.scheduled.push_back({fault::WireOneShot::Kind::kDropData, 0, 2});
+  fault::WireInjector inj(w, 7);
+  Fabric f(sim, NetParams{}, 2, &inj);
+  std::vector<std::uint64_t> psns;
+  f.attach(0, [](const NetPacket&) {});
+  f.attach(1, [&](const NetPacket& pkt) { psns.push_back(pkt.psn); });
+  for (std::uint64_t psn = 1; psn <= 3; ++psn) f.send(data8(psn, 0, psn));
+  sim.run();
+  EXPECT_EQ(psns, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(f.stats().packets_sent, 3u);
+  EXPECT_EQ(f.stats().packets_dropped, 1u);
+  EXPECT_EQ(f.stats().packets_delivered, 2u);
+}
+
+TEST(FabricFaults, CorruptOccupiesWireButIsDiscardedSilently) {
+  sim::Simulator sim;
+  fault::WireFaultConfig w;
+  w.corrupt_prob = 1.0;
+  fault::WireInjector inj(w, 7);
+  Fabric f(sim, NetParams{}, 2, &inj);
+  int delivered = 0;
+  f.attach(0, [](const NetPacket&) {});
+  f.attach(1, [&](const NetPacket&) { ++delivered; });
+  f.send(data8(1, 0, 1));
+  sim.run();
+  // The packet travelled (an arrival event ran) but the receiver's ICRC
+  // check discarded it without notifying anyone.
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(f.stats().packets_corrupted, 1u);
+  EXPECT_EQ(f.stats().packets_delivered, 0u);
+}
+
+TEST(FabricFaults, DuplicateDeliversTwiceConservationHolds) {
+  sim::Simulator sim;
+  fault::WireFaultConfig w;
+  w.scheduled.push_back({fault::WireOneShot::Kind::kDuplicateData, 0, 1});
+  fault::WireInjector inj(w, 7);
+  Fabric f(sim, NetParams{}, 2, &inj);
+  int delivered = 0;
+  f.attach(0, [](const NetPacket&) {});
+  f.attach(1, [&](const NetPacket&) { ++delivered; });
+  f.send(data8(1, 0, 1));
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  const TransportStats& s = f.stats();
+  EXPECT_EQ(s.packets_duplicated, 1u);
+  EXPECT_EQ(s.packets_sent + s.packets_duplicated,
+            s.packets_delivered + s.packets_dropped + s.packets_corrupted);
+}
+
+TEST(FabricFaults, ReorderLetsSuccessorOvertake) {
+  sim::Simulator sim;
+  fault::WireFaultConfig w;
+  w.reorder_delay_ns = 500.0;
+  w.scheduled.push_back({fault::WireOneShot::Kind::kReorderData, 0, 1});
+  fault::WireInjector inj(w, 7);
+  Fabric f(sim, NetParams{}, 2, &inj);
+  std::vector<std::uint64_t> psns;
+  f.attach(0, [](const NetPacket&) {});
+  f.attach(1, [&](const NetPacket& pkt) { psns.push_back(pkt.psn); });
+  f.send(data8(1, 0, 1));
+  f.send(data8(2, 0, 2));
+  sim.run();
+  // PSN 1 was delayed past the in-order gate; PSN 2 overtakes it.
+  EXPECT_EQ(psns, (std::vector<std::uint64_t>{2, 1}));
+  EXPECT_EQ(f.stats().packets_reordered, 1u);
+}
+
+TEST(FabricFaults, DisabledInjectorPointerIsFreeOfSideEffects) {
+  // An attached-but-disabled injector must leave timing identical to no
+  // injector at all (the loss-rate->0 bit-identity contract).
+  auto arrivals_with = [](fault::WireInjector* inj) {
+    sim::Simulator sim;
+    Fabric f(sim, NetParams{}, 2, inj);
+    std::vector<double> at;
+    f.attach(0, [](const NetPacket&) {});
+    f.attach(1, [&](const NetPacket&) { at.push_back(sim.now().to_ns()); });
+    for (std::uint64_t psn = 1; psn <= 4; ++psn) f.send(data8(psn, 0, psn));
+    sim.run();
+    return at;
+  };
+  fault::WireInjector disabled(fault::WireFaultConfig{}, 7);
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_EQ(arrivals_with(nullptr), arrivals_with(&disabled));
+}
+
+TEST(FabricFaults, LossPatternIsAPureFunctionOfSeed) {
+  auto delivered_psns = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    fault::WireFaultConfig w;
+    w.drop_prob = 0.3;
+    fault::WireInjector inj(w, seed);
+    Fabric f(sim, NetParams{}, 2, &inj);
+    std::vector<std::uint64_t> psns;
+    f.attach(0, [](const NetPacket&) {});
+    f.attach(1, [&](const NetPacket& pkt) { psns.push_back(pkt.psn); });
+    for (std::uint64_t psn = 1; psn <= 64; ++psn) f.send(data8(psn, 0, psn));
+    sim.run();
+    return psns;
+  };
+  EXPECT_EQ(delivered_psns(11), delivered_psns(11));
+  EXPECT_NE(delivered_psns(11), delivered_psns(12));
 }
 
 }  // namespace
